@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  By default the
+parameter grids are reduced so the whole suite finishes in minutes on a
+laptop; set ``REPRO_PAPER_SCALE=1`` to run the full grids of the paper
+(hundreds of nodes, 2.68 GB Genebase, all size/node combinations), which
+takes considerably longer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def paper_scale() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    """Parameter grids for the experiments, at benchmark or paper scale."""
+    if paper_scale():
+        return {
+            "paper_scale": True,
+            "table2_creations": 5000,
+            "table3_nodes": 50,
+            "table3_pairs": 500,
+            "fig3_sizes": (10, 20, 50, 100, 150, 200, 250, 500),
+            "fig3_nodes": (10, 20, 50, 100, 150, 200, 250),
+            "fig5_workers": (10, 20, 50, 100, 150, 200, 250, 275),
+            "fig6_nodes": 400,
+        }
+    return {
+        "paper_scale": False,
+        "table2_creations": 1500,
+        "table3_nodes": 50,
+        "table3_pairs": 100,
+        "fig3_sizes": (10, 100, 500),
+        "fig3_nodes": (10, 50, 150),
+        "fig5_workers": (10, 50, 100),
+        "fig6_nodes": 80,
+    }
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a paper-style table under a clear banner (shown with -s)."""
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}\n{text}\n")

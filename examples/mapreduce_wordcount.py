@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Distributed MapReduce word count on BitDew (the paper's future-work item).
+
+The conclusion of the paper announces "support for distributed MapReduce
+operations" as a programming abstraction to be built on top of BitDew.  This
+example runs a word count over a small corpus: the input is sliced and
+scattered to mapper hosts, the intermediate partitions travel to the reducers
+purely through affinity attributes, and the reduced outputs flow back to the
+master's collector.
+
+Run with::
+
+    python examples/mapreduce_wordcount.py
+"""
+
+from collections import Counter
+
+from repro.apps import MapReduceJob
+from repro.core import BitDewEnvironment
+from repro.net import cluster_topology
+from repro.sim import Environment
+
+CORPUS = (
+    "bitdew is a programmable environment for large scale data management "
+    "and distribution on desktop grids "
+    "data are tagged with attributes replica fault tolerance lifetime "
+    "affinity and protocol and the runtime schedules the data to the hosts "
+    "the computation follows the data instead of the data following the "
+    "computation "
+) * 40
+
+
+def main() -> None:
+    env = Environment()
+    topology = cluster_topology(env, n_workers=8)
+    runtime = BitDewEnvironment(topology, sync_period_s=1.0,
+                                monitor_period_s=0.2, max_data_schedule=8)
+
+    job = MapReduceJob(runtime, master_host=topology.service_host,
+                       input_payload=CORPUS.encode("utf-8"),
+                       n_map_slices=6, n_reducers=2)
+    job.assign_workers()
+    result = job.run(deadline_s=2000, poll_s=2.0)
+
+    expected = Counter(CORPUS.lower().split())
+    print(f"MapReduce finished in {result.makespan_s:.0f} simulated seconds "
+          f"({result.map_tasks} map tasks, {result.reduce_tasks} reduce tasks, "
+          f"{result.intermediate_data} intermediate files).\n")
+    print("Top 10 words:")
+    for word, count in sorted(result.output.items(), key=lambda kv: -kv[1])[:10]:
+        print(f"  {word:15s} {count:5d}")
+    assert result.output == dict(expected), "distributed result differs from sequential"
+    print("\nDistributed result matches the sequential word count. ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""The "Updater" example of the paper (Listings 1 and 2).
+
+A master pushes a 64 MB file update to every node of a 12-node cluster with
+BitTorrent; each updated node reports its host name back to the master
+through a tiny datum whose affinity points at the master's pinned collector.
+The master ends up with the list of updated hosts — without ever addressing
+a single node explicitly.
+
+Run with::
+
+    python examples/updater_example.py
+"""
+
+from repro.apps import UpdaterApplication
+from repro.core import BitDewEnvironment
+from repro.net import cluster_topology
+from repro.sim import Environment
+
+
+def main() -> None:
+    env = Environment()
+    topology = cluster_topology(env, n_workers=12)
+    runtime = BitDewEnvironment(topology, sync_period_s=2.0)
+
+    app = UpdaterApplication(runtime, master_host=topology.service_host,
+                             update_size_mb=64, protocol="bittorrent",
+                             lifetime_s=3600.0)
+    app.register_updatees()
+    env.process(app.start())
+
+    runtime.run(until=300)
+
+    print(f"Update data: {app.update_data.name!r} "
+          f"({app.update_data.size_mb:.1f} MB, uid {app.update_data.uid[:8]}...)")
+    print(f"{app.updated_count} / {len(topology.worker_hosts)} nodes reported "
+          f"the update after {env.now:.0f} simulated seconds:")
+    for name in sorted(app.updatees):
+        stats = runtime.agent(name).stats.get(app.update_data.uid)
+        if stats and stats.download_time_s:
+            print(f"  - {name}: downloaded in {stats.download_time_s:.1f} s "
+                  f"({(stats.bandwidth_mbps or 0):.1f} MB/s)")
+        else:
+            print(f"  - {name}")
+    assert app.all_updated(), "some nodes missed the update"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment used for development has no ``wheel`` package, so
+PEP 517 editable installs fail; this shim lets ``pip install -e .
+--no-use-pep517`` (legacy develop mode) work.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — a reproduction of *BitDew: A Programmable Environment for
+Large-Scale Data Management and Distribution* (Fedak, He, Cappello, 2008).
+
+The package is organised as the paper's architecture (Figure 1):
+
+* **API layer** (:mod:`repro.core`): ``BitDew``, ``ActiveData``,
+  ``TransferManager``, data attributes, life-cycle events and the runtime
+  environment that wires everything together.
+* **Service layer** (:mod:`repro.services`): Data Catalog, Data Repository,
+  Data Transfer and Data Scheduler (Algorithm 1), plus the failure detector.
+* **Back-ends** (:mod:`repro.storage`, :mod:`repro.transfer`,
+  :mod:`repro.dht`): SQL-like persistence, out-of-band transfer protocols
+  (FTP / HTTP / BitTorrent) and the Chord-style DHT behind the Distributed
+  Data Catalog.
+* **Substrate** (:mod:`repro.sim`, :mod:`repro.net`): the discrete-event
+  kernel and the flow-level network that stand in for the paper's Grid'5000
+  and DSL-Lab testbeds (see ``DESIGN.md`` for the substitution rationale).
+* **Applications and workloads** (:mod:`repro.apps`, :mod:`repro.workloads`):
+  the master/worker framework, the BLAST application model and the
+  churn/workload generators the experiments use.
+"""
+
+from repro.core import (
+    ActiveData,
+    ActiveDataEventHandler,
+    Attribute,
+    BitDew,
+    BitDewEnvironment,
+    Data,
+    DataFlag,
+    DataStatus,
+    HostAgent,
+    Locator,
+    TransferManager,
+    parse_attribute,
+)
+from repro.net import cluster_topology, dsl_lab_topology, grid5000_testbed
+from repro.sim import Environment
+from repro.storage import FileContent
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveData",
+    "ActiveDataEventHandler",
+    "Attribute",
+    "BitDew",
+    "BitDewEnvironment",
+    "Data",
+    "DataFlag",
+    "DataStatus",
+    "Environment",
+    "FileContent",
+    "HostAgent",
+    "Locator",
+    "TransferManager",
+    "cluster_topology",
+    "dsl_lab_topology",
+    "grid5000_testbed",
+    "parse_attribute",
+    "__version__",
+]

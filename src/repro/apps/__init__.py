@@ -1,0 +1,43 @@
+"""Applications built on the BitDew API.
+
+* :mod:`repro.apps.master_worker` — the data-driven master/worker framework
+  of the paper's Section 5: tasks are materialised as data, workers react to
+  data-copy events, results flow back to the master through affinity to a
+  pinned Collector datum.
+* :mod:`repro.apps.blast` — the BLAST bioinformatics application model
+  (Application binary, 2.68 GB Genebase, Sequences, Results) with the
+  paper's file sizes and a calibrated compute/unzip model; this drives the
+  Figure 5 and Figure 6 experiments.
+* :mod:`repro.apps.updater` — the "Updater" network file-update toy example
+  of Listings 1 and 2, exercising the event-driven programming style.
+* :mod:`repro.apps.mapreduce` — distributed MapReduce on BitDew, the
+  programming abstraction announced as future work in the paper's conclusion.
+* :mod:`repro.apps.checkpointing` — replicated, signature-indexed checkpoints
+  with DHT-based sabotage tolerance (the long-running-application scenario of
+  §2.2).
+"""
+
+from repro.apps.master_worker import (
+    MasterWorkerApplication,
+    SharedInput,
+    TaskRecord,
+    TaskSpec,
+)
+from repro.apps.blast import BlastParameters, build_blast_application
+from repro.apps.checkpointing import CheckpointManager, SignatureVerdict
+from repro.apps.mapreduce import MapReduceJob, MapReduceResult
+from repro.apps.updater import UpdaterApplication
+
+__all__ = [
+    "BlastParameters",
+    "CheckpointManager",
+    "MapReduceJob",
+    "MapReduceResult",
+    "MasterWorkerApplication",
+    "SharedInput",
+    "SignatureVerdict",
+    "TaskRecord",
+    "TaskSpec",
+    "UpdaterApplication",
+    "build_blast_application",
+]

@@ -1,0 +1,166 @@
+"""Checkpoint management for long-running applications (paper §2.2).
+
+The paper motivates BitDew with long-running applications on volatile nodes:
+"to achieve application execution, it requires local or remote checkpoints to
+avoid losing the intermediate computational state when a failure occurs", and
+notes that "indexing data with their checksum as is commonly done by DHT and
+P2P software permits basic sabotage tolerance even without retrieving the
+data" (comparing checkpoint signatures across replicated executions, as
+proposed by Kondo et al.).
+
+:class:`CheckpointManager` packages that pattern on top of the BitDew API:
+
+* ``store`` — put a checkpoint image in the data space, schedule it with a
+  replica count and fault tolerance so it survives host crashes, and publish
+  its MD5 signature in the DHT under ``(application, sequence number)``;
+* ``latest`` / ``restore`` — locate and fetch the most recent checkpoint;
+* ``verify`` — compare a locally computed image signature against the
+  signatures published by the other replicas of the same execution; a
+  diverging signature flags a corrupted or sabotaged execution without ever
+  moving the checkpoint bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.attributes import Attribute
+from repro.core.data import Data
+from repro.core.exceptions import DataNotFoundError
+from repro.core.runtime import HostAgent
+from repro.storage.filesystem import FileContent
+
+__all__ = ["CheckpointManager", "CheckpointRecord", "SignatureVerdict"]
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One stored checkpoint."""
+
+    application: str
+    sequence: int
+    data: Data
+    signature: str
+    stored_at: float
+
+
+@dataclass(frozen=True)
+class SignatureVerdict:
+    """Result of a sabotage-tolerance check for one checkpoint signature."""
+
+    application: str
+    sequence: int
+    signature: str
+    matching: int
+    diverging: int
+
+    @property
+    def accepted(self) -> bool:
+        """Majority agreement among published signatures (ties accept)."""
+        return self.matching >= self.diverging
+
+
+class CheckpointManager:
+    """Replicated, signature-indexed checkpoints for one application run."""
+
+    def __init__(self, agent: HostAgent, application: str,
+                 replica: int = 2, protocol: str = "http",
+                 lifetime_s: Optional[float] = None):
+        if replica == 0 or replica < -1:
+            raise ValueError("replica must be a positive count or -1")
+        self.agent = agent
+        self.env = agent.env
+        self.application = application
+        self.replica = replica
+        self.protocol = protocol
+        self.lifetime_s = lifetime_s
+        self.records: List[CheckpointRecord] = []
+
+    # ------------------------------------------------------------------ naming
+    def checkpoint_name(self, sequence: int) -> str:
+        return f"ckpt-{self.application}-{sequence:06d}"
+
+    def _signature_key(self, sequence: int) -> str:
+        return f"ckpt-sig:{self.application}:{sequence}"
+
+    def _attribute(self, sequence: int) -> Attribute:
+        return Attribute(
+            name=f"ckpt-{self.application}", replica=self.replica,
+            fault_tolerance=True, protocol=self.protocol,
+            absolute_lifetime=self.lifetime_s,
+        )
+
+    # ------------------------------------------------------------------ store / restore
+    def store(self, sequence: int, image: FileContent):
+        """Generator: store one checkpoint image and publish its signature."""
+        if sequence < 0:
+            raise ValueError("sequence must be non-negative")
+        name = self.checkpoint_name(sequence)
+        data = yield from self.agent.bitdew.create_data(name, content=image)
+        yield from self.agent.bitdew.put(data, image, protocol=self.protocol)
+        yield from self.agent.active_data.schedule(data, self._attribute(sequence))
+        # Publish the signature in the DHT: (application, sequence) ->
+        # (reporting host, MD5).  The host name keeps one vote per replica
+        # even when several replicas computed identical (correct) images.
+        yield from self.agent.bitdew.publish(
+            self._signature_key(sequence),
+            (self.agent.host.name, image.checksum))
+        record = CheckpointRecord(application=self.application, sequence=sequence,
+                                  data=data, signature=image.checksum,
+                                  stored_at=self.env.now)
+        self.records.append(record)
+        return record
+
+    def latest(self):
+        """Generator: the most recent checkpoint registered in the catalog."""
+        best: Optional[Data] = None
+        best_sequence = -1
+        sequence = 0
+        # Walk the catalog through the public search API (names are indexed).
+        while True:
+            name = self.checkpoint_name(sequence)
+            try:
+                data = yield from self.agent.bitdew.search_data(name)
+            except DataNotFoundError:
+                break
+            best, best_sequence = data, sequence
+            sequence += 1
+        if best is None:
+            raise DataNotFoundError(
+                f"no checkpoint stored for application {self.application!r}")
+        return best_sequence, best
+
+    def restore(self, sequence: Optional[int] = None):
+        """Generator: fetch a checkpoint image (the latest one by default)."""
+        if sequence is None:
+            sequence, data = yield from self.latest()
+        else:
+            data = yield from self.agent.bitdew.search_data(
+                self.checkpoint_name(sequence))
+        content = yield from self.agent.bitdew.get(data, protocol=self.protocol)
+        return sequence, content
+
+    # ------------------------------------------------------------------ sabotage tolerance
+    def publish_signature(self, sequence: int, signature: str):
+        """Generator: publish a replica execution's checkpoint signature."""
+        result = yield from self.agent.bitdew.publish(
+            self._signature_key(sequence),
+            (self.agent.host.name, signature))
+        return result
+
+    def verify(self, sequence: int, image: FileContent):
+        """Generator: compare *image*'s signature against the published ones.
+
+        Each published entry is one replica's vote ``(host, signature)``; the
+        verdict counts how many agree with the locally computed signature.
+        """
+        published = yield from self.agent.bitdew.search(
+            self._signature_key(sequence))
+        signatures = [entry[1] if isinstance(entry, tuple) else entry
+                      for entry in published]
+        matching = sum(1 for sig in signatures if sig == image.checksum)
+        diverging = len(signatures) - matching
+        return SignatureVerdict(application=self.application, sequence=sequence,
+                                signature=image.checksum, matching=matching,
+                                diverging=diverging)

@@ -1,0 +1,147 @@
+"""The "Updater" example (paper §3.3, Listings 1 and 2).
+
+A master node copies a file to every node of the network and maintains the
+list of nodes that received the update:
+
+* the master creates the update datum, puts the file in the data space and
+  schedules it with ``{replica = -1, oob = bittorrent, abstime = ...}``;
+* every updatee installs a data-copy handler: when the update arrives it is
+  written to the local path, then the node publishes a tiny "host" datum
+  whose affinity points at the master's pinned *collector*, carrying its
+  host name back;
+* the master's handler records every "host" datum that arrives, building the
+  list of updated nodes.
+
+This is the library form of the listing, used both as an example and in the
+integration tests (it exercises replication-to-all, affinity, events and
+relative lifetimes together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.attributes import Attribute
+from repro.core.data import Data
+from repro.core.events import ActiveDataEventHandler
+from repro.core.runtime import BitDewEnvironment, HostAgent
+from repro.net.host import Host
+from repro.storage.filesystem import FileContent
+
+__all__ = ["UpdaterApplication"]
+
+
+class _UpdaterHandler(ActiveDataEventHandler):
+    """Master-side handler: records each node reporting a completed update."""
+
+    def __init__(self, app: "UpdaterApplication"):
+        self.app = app
+
+    def on_data_copy_event(self, data: Data, attribute: Attribute) -> None:
+        if attribute.name == "host":
+            self.app.updatees.append(data.name)
+
+
+class _UpdateeHandler(ActiveDataEventHandler):
+    """Updatee-side handler: reacts to the update arriving, reports back."""
+
+    def __init__(self, app: "UpdaterApplication", agent: HostAgent):
+        self.app = app
+        self.agent = agent
+
+    def on_data_copy_event(self, data: Data, attribute: Attribute) -> None:
+        if attribute.name != self.app.update_attribute_name:
+            return
+        # The runtime has already materialised the file in the local cache
+        # (the paper's listing calls bitdew.get + waitFor here); report back.
+        self.agent.env.process(self.app._report_updated(self.agent))
+
+    def on_data_delete_event(self, data: Data, attribute: Attribute) -> None:
+        if attribute.name == self.app.update_attribute_name:
+            self.app.deletions.append(self.agent.host.name)
+
+
+class UpdaterApplication:
+    """Network file update driven entirely by data attributes."""
+
+    def __init__(self, runtime: BitDewEnvironment, master_host: Host,
+                 update_size_mb: float = 64.0,
+                 protocol: str = "bittorrent",
+                 lifetime_s: Optional[float] = None,
+                 update_attribute_name: str = "update"):
+        self.runtime = runtime
+        # The updater (master) is a client host: it pushes the update out and
+        # only receives the "host" reports through affinity to its collector.
+        self.master = runtime.attach(master_host, reservoir=False)
+        self.update_size_mb = float(update_size_mb)
+        self.protocol = protocol
+        self.lifetime_s = lifetime_s
+        self.update_attribute_name = update_attribute_name
+        self.updatees: List[str] = []
+        self.deletions: List[str] = []
+        self.update_data: Optional[Data] = None
+        self.collector_data: Optional[Data] = None
+        self._reported: set = set()
+        self.master.active_data.add_callback(_UpdaterHandler(self))
+
+    # ------------------------------------------------------------------ master
+    def start(self):
+        """Generator: publish the update (master side of Listing 1)."""
+        bitdew = self.master.bitdew
+        active = self.master.active_data
+
+        collector = yield from bitdew.create_data("collector")
+        self.collector_data = collector
+        yield from active.pin(collector, attribute=Attribute(name="collector"))
+
+        content = FileContent.from_seed("big_data_to_update", self.update_size_mb)
+        data = yield from bitdew.create_data("big_data_to_update", content=content)
+        yield from bitdew.put(data, content, protocol=self.protocol)
+        attr_parts = [f"replicat = -1", f"oob = {self.protocol}"]
+        if self.lifetime_s is not None:
+            attr_parts.append(f"abstime = {self.lifetime_s}")
+        attribute = bitdew.create_attribute(
+            f"attr {self.update_attribute_name} = {{{', '.join(attr_parts)}}}")
+        yield from active.schedule(data, attribute)
+        self.update_data = data
+        return data
+
+    # ------------------------------------------------------------------ updatees
+    def register_updatee(self, agent: HostAgent) -> HostAgent:
+        agent.active_data.add_callback(_UpdateeHandler(self, agent))
+        return agent
+
+    def register_updatees(self, hosts: Optional[List[Host]] = None) -> List[HostAgent]:
+        targets = hosts if hosts is not None else self.runtime.topology.worker_hosts
+        agents = []
+        for host in targets:
+            if host is self.master.host:
+                continue
+            agents.append(self.register_updatee(self.runtime.attach(host)))
+        return agents
+
+    def _report_updated(self, agent: HostAgent):
+        """Generator: send the host's name back to the master (Listing 2)."""
+        if agent.host.name in self._reported:
+            return None
+        self._reported.add(agent.host.name)
+        content = FileContent.from_bytes(agent.host.name,
+                                         agent.host.name.encode("utf-8"))
+        data = yield from agent.bitdew.create_data(agent.host.name, content=content)
+        yield from agent.bitdew.put(data, content, protocol="http")
+        host_attr = Attribute(name="host", replica=1, protocol="http",
+                              affinity="collector")
+        yield from agent.active_data.schedule(data, host_attr)
+        return data
+
+    # ------------------------------------------------------------------ progress
+    @property
+    def updated_count(self) -> int:
+        return len(self.updatees)
+
+    def all_updated(self, expected: Optional[int] = None) -> bool:
+        target = expected if expected is not None else len(
+            [h for h in self.runtime.topology.worker_hosts
+             if h is not self.master.host])
+        return self.updated_count >= target

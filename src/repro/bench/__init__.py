@@ -1,0 +1,50 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+Each ``run_*`` function builds a fresh simulated platform, runs the
+experiment and returns plain dictionaries/lists with the same rows or series
+the paper reports.  The pytest-benchmark files under ``benchmarks/`` are thin
+wrappers around these functions, and ``examples/reproduce_paper.py`` calls
+them to regenerate EXPERIMENTS.md numbers.
+
+Index (see DESIGN.md for the full mapping):
+
+=============  ==========================================================
+Experiment     Harness function
+=============  ==========================================================
+Table 1        :func:`repro.bench.micro.table1_testbed`
+Table 2        :func:`repro.bench.micro.run_table2`
+Table 3        :func:`repro.bench.micro.run_table3`
+Figure 3a      :func:`repro.bench.transfer.run_fig3a`
+Figure 3b/3c   :func:`repro.bench.transfer.run_fig3bc`
+Figure 4       :func:`repro.bench.fault.run_fig4`
+Figure 5       :func:`repro.bench.blast.run_fig5`
+Figure 6       :func:`repro.bench.blast.run_fig6`
+=============  ==========================================================
+"""
+
+from repro.bench.micro import run_table2, run_table2_cell, run_table3, table1_testbed
+from repro.bench.transfer import (
+    run_distribution,
+    run_fig3a,
+    run_fig3bc,
+    run_ftp_alone,
+)
+from repro.bench.fault import run_fig4
+from repro.bench.blast import run_fig5, run_fig6
+from repro.bench.reporting import format_table, shape_check
+
+__all__ = [
+    "format_table",
+    "run_distribution",
+    "run_fig3a",
+    "run_fig3bc",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_ftp_alone",
+    "run_table2",
+    "run_table2_cell",
+    "run_table3",
+    "shape_check",
+    "table1_testbed",
+]

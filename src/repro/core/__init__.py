@@ -1,0 +1,62 @@
+"""BitDew core: the paper's primary contribution.
+
+This subpackage contains the programming model of the paper's Section 3:
+
+* :mod:`repro.core.data` — the :class:`Data` object (a slot in the unified
+  data space, with name / MD5 checksum / size / flags), :class:`Locator`
+  (how to reach a remote copy) and data status.
+* :mod:`repro.core.attributes` — the five data attributes (``replica``,
+  ``fault_tolerance``, ``lifetime``, ``affinity``, ``protocol``) plus the
+  textual attribute grammar used throughout the paper's listings
+  (``attr update = {replica = -1, oob = bittorrent, abstime = 43200}``).
+* :mod:`repro.core.events` — data life-cycle events (create / copy / delete)
+  and the ``ActiveDataEventHandler`` callback base class.
+* :mod:`repro.core.bitdew` — the ``BitDew`` API: create data slots, put/get
+  content, search, publish.
+* :mod:`repro.core.active_data` — the ``ActiveData`` API: schedule/pin data
+  with attributes, install life-cycle handlers.
+* :mod:`repro.core.transfer_manager` — the ``TransferManager`` API:
+  non-blocking transfers, probing, waiting, barriers, concurrency control.
+* :mod:`repro.core.runtime` — the runtime environment that wires a simulated
+  platform (topology + protocols + D* services + per-host agents) together
+  and exposes the three APIs on every attached host.
+"""
+
+from repro.core.attributes import Attribute, AttributeError_, parse_attribute
+from repro.core.data import Data, DataFlag, DataStatus, Locator
+from repro.core.events import ActiveDataEventHandler, DataEvent, DataEventType
+from repro.core.exceptions import (
+    BitDewError,
+    DataNotFoundError,
+    SchedulingError,
+    TransferAbortedError,
+)
+from repro.core.bitdew import BitDew
+from repro.core.active_data import ActiveData
+from repro.core.transfer_manager import TransferManager
+from repro.core.runtime import BitDewEnvironment, HostAgent
+from repro.core.collectives import DataCollectives, slice_content
+
+__all__ = [
+    "ActiveData",
+    "DataCollectives",
+    "slice_content",
+    "ActiveDataEventHandler",
+    "Attribute",
+    "AttributeError_",
+    "BitDew",
+    "BitDewEnvironment",
+    "BitDewError",
+    "Data",
+    "DataEvent",
+    "DataEventType",
+    "DataFlag",
+    "DataNotFoundError",
+    "DataStatus",
+    "HostAgent",
+    "Locator",
+    "SchedulingError",
+    "TransferAbortedError",
+    "TransferManager",
+    "parse_attribute",
+]

@@ -1,0 +1,84 @@
+"""The ActiveData API (paper §3.3): attributes, scheduling and callbacks.
+
+"This is precisely the role of the ActiveData API to manage data attributes
+and interface with the DS, which is achieved by the following methods:
+*schedule* associates a datum to an attribute and orders the DS to schedule
+this data according to the scheduling heuristic; *pin* which, in addition,
+indicates the DS that a datum is owned by a specific node.  Besides,
+ActiveData allows programmers to install handlers, those are codes executed
+when some events occur during data life cycle: creation, copy and deletion."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.attributes import Attribute, parse_attribute
+from repro.core.data import Data
+from repro.core.events import ActiveDataEventHandler
+
+__all__ = ["ActiveData"]
+
+
+class ActiveData:
+    """Attribute management, scheduling orders and life-cycle callbacks."""
+
+    def __init__(self, agent):
+        self.agent = agent
+        self.env = agent.env
+
+    # ------------------------------------------------------------------ attributes
+    def create_attribute(self, definition: Union[str, dict, Attribute]) -> Attribute:
+        if isinstance(definition, Attribute):
+            return definition
+        if isinstance(definition, dict):
+            return Attribute(**definition)
+        return parse_attribute(definition)
+
+    def createAttribute(self, definition):  # noqa: N802 - paper-style alias
+        return self.create_attribute(definition)
+
+    # ------------------------------------------------------------------ scheduling
+    def schedule(self, data: Data, attribute: Optional[Attribute] = None):
+        """Generator: hand the datum to the Data Scheduler with its attribute."""
+        entry = yield from self.agent.invoke("ds", "schedule", data, attribute)
+        self.agent.set_attribute(data, attribute)
+        if self.agent.reservoir and self.agent.has_local(data.uid):
+            # On a reservoir host the local copy is now governed by the
+            # scheduler (lifetime expiry, obsolete-data removal).  Client
+            # hosts keep their own copies out of the scheduler's view.
+            self.agent.mark_managed(data.uid)
+        return entry
+
+    def pin(self, data: Data, host_name: Optional[str] = None,
+            attribute: Optional[Attribute] = None):
+        """Generator: schedule the datum and declare it owned by *host_name*
+        (this agent's host when omitted)."""
+        owner = host_name if host_name is not None else self.agent.host.name
+        entry = yield from self.agent.invoke("ds", "pin", data, owner, attribute)
+        self.agent.set_attribute(data, attribute)
+        if owner == self.agent.host.name:
+            self.agent.register_local(data, content_present=self.agent.has_content(data.uid))
+            self.agent.mark_managed(data.uid)
+        return entry
+
+    def unschedule(self, data: Data):
+        """Generator: withdraw the datum from scheduling (hosts drop it later)."""
+        removed = yield from self.agent.invoke("ds", "unschedule", data.uid)
+        return removed
+
+    def owners_of(self, data: Data):
+        """Generator: the datum's current active owners, as known by the DS."""
+        owners = yield from self.agent.invoke("ds", "owners_of", data.uid)
+        return owners
+
+    # ------------------------------------------------------------------ callbacks
+    def add_callback(self, handler: ActiveDataEventHandler) -> None:
+        """Install a data life-cycle event handler on this host."""
+        self.agent.event_bus.add_handler(handler)
+
+    def addCallback(self, handler: ActiveDataEventHandler) -> None:  # noqa: N802
+        self.add_callback(handler)
+
+    def remove_callback(self, handler: ActiveDataEventHandler) -> None:
+        self.agent.event_bus.remove_handler(handler)

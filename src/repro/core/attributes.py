@@ -1,0 +1,223 @@
+"""Data attributes and the attribute grammar (paper §3.2 and Listings 1/3).
+
+Five attributes drive the runtime:
+
+``replica``
+    Number of instances that should exist at the same time; ``-1`` means
+    "send to every node in the network".
+``fault_tolerance``
+    If set, a replica lost to a host crash is rescheduled to another node so
+    that the number of available replicas stays at the requested level.
+``lifetime``
+    Either *absolute* (a duration after which the datum is obsolete) or
+    *relative* (the datum becomes obsolete when a reference datum
+    disappears).
+``affinity``
+    Placement dependency: the datum must be scheduled wherever the reference
+    datum has been sent.  "The affinity attribute is stronger than replica."
+``protocol``
+    Preferred out-of-band transfer protocol (``ftp``, ``http``,
+    ``bittorrent``).
+
+The textual grammar accepted by :func:`parse_attribute` follows the paper's
+listings::
+
+    attr update = { replicat = -1, oob = bittorrent, abstime = 43200 }
+    attribute Genebase = { protocol = "BitTorrent", lifetime = Collector,
+                           affinity = Sequence }
+
+Key aliases (all used across the paper's listings) are normalised:
+``replica``/``replicat``/``replication``; ``oob``/``protocol``;
+``ft``/``faulttolerance``/``fault_tolerance``; ``abstime``/``absolute_lifetime``;
+``lifetime``/``reltime`` (relative lifetime, referencing another datum or
+attribute name).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Union
+
+from repro.storage.persistence import new_auid
+
+__all__ = ["Attribute", "AttributeError_", "parse_attribute", "DEFAULT_ATTRIBUTE"]
+
+#: ``replica = -1`` means "replicate to every node in the network".
+REPLICATE_TO_ALL = -1
+
+
+class AttributeError_(ValueError):
+    """Raised when an attribute definition cannot be parsed or is invalid.
+
+    (The trailing underscore avoids shadowing the built-in ``AttributeError``.)
+    """
+
+
+@dataclass
+class Attribute:
+    """The directive metadata attached to data."""
+
+    name: str = "default"
+    replica: int = 1
+    fault_tolerance: bool = False
+    #: absolute lifetime in seconds from scheduling time; None = unbounded
+    absolute_lifetime: Optional[float] = None
+    #: name or uid of the datum whose existence this datum's life depends on
+    relative_lifetime: Optional[str] = None
+    #: name or uid of the datum this datum must be co-located with
+    affinity: Optional[str] = None
+    protocol: str = "http"
+    uid: str = field(default_factory=lambda: new_auid("attribute"))
+
+    def __post_init__(self):
+        if self.replica == 0 or self.replica < REPLICATE_TO_ALL:
+            raise AttributeError_(
+                f"replica must be a positive count or -1 (got {self.replica})"
+            )
+        if self.absolute_lifetime is not None and self.absolute_lifetime <= 0:
+            raise AttributeError_("absolute_lifetime must be positive")
+        if not self.protocol:
+            raise AttributeError_("protocol must be a non-empty string")
+
+    # -- semantics helpers ---------------------------------------------------
+    @property
+    def replicate_to_all(self) -> bool:
+        return self.replica == REPLICATE_TO_ALL
+
+    @property
+    def has_relative_lifetime(self) -> bool:
+        return self.relative_lifetime is not None
+
+    @property
+    def has_affinity(self) -> bool:
+        return self.affinity is not None
+
+    def getname(self) -> str:
+        """Paper-style accessor (see the Updater listing)."""
+        return self.name
+
+    def getuid(self) -> str:
+        return self.uid
+
+    def with_name(self, name: str) -> "Attribute":
+        return replace(self, name=name, uid=new_auid("attribute"))
+
+    def describe(self) -> str:
+        parts = [f"replica={self.replica}"]
+        if self.fault_tolerance:
+            parts.append("fault_tolerance=true")
+        if self.absolute_lifetime is not None:
+            parts.append(f"abstime={self.absolute_lifetime!r}")
+        if self.relative_lifetime is not None:
+            parts.append(f"lifetime={self.relative_lifetime}")
+        if self.affinity is not None:
+            parts.append(f"affinity={self.affinity}")
+        parts.append(f"oob={self.protocol}")
+        return f"attr {self.name} = {{{', '.join(parts)}}}"
+
+
+#: the attribute used when data is scheduled without an explicit one
+DEFAULT_ATTRIBUTE = Attribute(name="default")
+
+
+# ---------------------------------------------------------------------------
+# Attribute grammar
+# ---------------------------------------------------------------------------
+
+_HEADER_RE = re.compile(
+    r"^\s*(?:attr|attribute)\s+(?P<name>[A-Za-z_][\w.-]*)\s*=\s*\{(?P<body>.*)\}\s*$",
+    re.DOTALL,
+)
+_TRUE_VALUES = {"true", "yes", "on", "1"}
+_FALSE_VALUES = {"false", "no", "off", "0"}
+
+_KEY_ALIASES = {
+    "replica": "replica",
+    "replicat": "replica",
+    "replication": "replica",
+    "ft": "fault_tolerance",
+    "faulttolerance": "fault_tolerance",
+    "fault_tolerance": "fault_tolerance",
+    "fault-tolerance": "fault_tolerance",
+    "abstime": "absolute_lifetime",
+    "absolute_lifetime": "absolute_lifetime",
+    "abslifetime": "absolute_lifetime",
+    "lifetime": "relative_lifetime",
+    "reltime": "relative_lifetime",
+    "relative_lifetime": "relative_lifetime",
+    "affinity": "affinity",
+    "oob": "protocol",
+    "protocol": "protocol",
+}
+
+
+def _strip_quotes(value: str) -> str:
+    value = value.strip()
+    if len(value) >= 2 and value[0] == value[-1] and value[0] in "\"'":
+        return value[1:-1]
+    return value
+
+
+def _split_body(body: str) -> Dict[str, str]:
+    """Split ``key = value, key = value`` pairs, tolerating trailing commas."""
+    pairs: Dict[str, str] = {}
+    for chunk in body.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise AttributeError_(f"malformed attribute entry {chunk!r}")
+        key, _, value = chunk.partition("=")
+        key = key.strip().lower()
+        if not key:
+            raise AttributeError_(f"empty key in attribute entry {chunk!r}")
+        pairs[key] = value.strip()
+    return pairs
+
+
+def parse_attribute(definition: str) -> Attribute:
+    """Parse one attribute definition written in the paper's grammar."""
+    if not isinstance(definition, str) or not definition.strip():
+        raise AttributeError_("empty attribute definition")
+    match = _HEADER_RE.match(definition.strip())
+    if match is None:
+        raise AttributeError_(
+            f"cannot parse attribute definition {definition!r}; expected "
+            "'attr <name> = { key = value, ... }'"
+        )
+    name = match.group("name")
+    body = match.group("body")
+    pairs = _split_body(body)
+
+    fields: Dict[str, Union[int, float, bool, str, None]] = {}
+    for raw_key, raw_value in pairs.items():
+        key = _KEY_ALIASES.get(raw_key)
+        if key is None:
+            raise AttributeError_(f"unknown attribute key {raw_key!r}")
+        value = _strip_quotes(raw_value)
+        if key == "replica":
+            try:
+                fields[key] = int(value)
+            except ValueError:
+                raise AttributeError_(f"replica must be an integer (got {value!r})")
+        elif key == "fault_tolerance":
+            lowered = value.lower()
+            if lowered in _TRUE_VALUES:
+                fields[key] = True
+            elif lowered in _FALSE_VALUES:
+                fields[key] = False
+            else:
+                raise AttributeError_(
+                    f"fault_tolerance must be a boolean (got {value!r})")
+        elif key == "absolute_lifetime":
+            try:
+                fields[key] = float(value)
+            except ValueError:
+                raise AttributeError_(
+                    f"absolute lifetime must be a number of seconds (got {value!r})")
+        elif key == "protocol":
+            fields[key] = value.lower()
+        else:  # affinity, relative_lifetime: keep the reference as written
+            fields[key] = value
+    return Attribute(name=name, **fields)  # type: ignore[arg-type]

@@ -1,0 +1,118 @@
+"""The Data object, its status and locators (paper §3.3).
+
+"Data creation consists of the creation of a slot in the storage space.
+A data object contains data meta-information: *name* is the character
+string label, *checksum* is an MD5 signature of the file, *size* is the
+file length, *flags* is a OR-combination of flags indicating whether the
+file is compressed, executable, architecture dependent, etc."
+
+A :class:`Locator` gives "the correct information to remotely access the
+data: file identification on the remote file system (this could be a path,
+file name, or hash key) and information to set up the file transfer
+service" (§3.4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.storage.filesystem import FileContent
+from repro.storage.persistence import new_auid
+
+__all__ = ["Data", "DataFlag", "DataStatus", "Locator"]
+
+
+class DataFlag(enum.IntFlag):
+    """OR-combination of flags carried by a data object."""
+
+    NONE = 0
+    COMPRESSED = 1
+    EXECUTABLE = 2
+    ARCHITECTURE_DEPENDENT = 4
+
+
+class DataStatus(enum.Enum):
+    """Life-cycle status of a data slot."""
+
+    CREATED = "created"        # slot exists, no content uploaded yet
+    AVAILABLE = "available"    # content uploaded / at least one copy exists
+    OBSOLETE = "obsolete"      # lifetime expired, may be deleted by hosts
+    DELETED = "deleted"        # removed from the catalog
+
+
+@dataclass
+class Data:
+    """A slot in the unified data space."""
+
+    name: str
+    size_mb: float = 0.0
+    checksum: str = ""
+    flags: DataFlag = DataFlag.NONE
+    uid: str = field(default_factory=lambda: new_auid("data"))
+    status: DataStatus = DataStatus.CREATED
+    #: uid of the attribute currently governing this datum (None = default)
+    attribute_uid: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("a data object needs a non-empty name")
+        if self.size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_content(cls, content: FileContent, flags: DataFlag = DataFlag.NONE,
+                     name: Optional[str] = None) -> "Data":
+        """Create a datum from a logical file, computing the meta-information."""
+        return cls(name=name or content.name, size_mb=content.size_mb,
+                   checksum=content.checksum, flags=flags)
+
+    # -- convenience --------------------------------------------------------
+    @property
+    def is_compressed(self) -> bool:
+        return bool(self.flags & DataFlag.COMPRESSED)
+
+    @property
+    def is_executable(self) -> bool:
+        return bool(self.flags & DataFlag.EXECUTABLE)
+
+    @property
+    def has_content(self) -> bool:
+        return self.checksum != "" and self.size_mb > 0
+
+    def getname(self) -> str:
+        """Paper-style accessor (see the Updater listing)."""
+        return self.name
+
+    def getuid(self) -> str:
+        """Paper-style accessor (see the Updater listing)."""
+        return self.uid
+
+    def matches_content(self, content: FileContent) -> bool:
+        """True when *content* is the file this datum was created from."""
+        return (self.checksum == content.checksum
+                and abs(self.size_mb - content.size_mb) < 1e-12)
+
+    def with_status(self, status: DataStatus) -> "Data":
+        return replace(self, status=status)
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+
+@dataclass(frozen=True)
+class Locator:
+    """How to reach one remote copy of a datum."""
+
+    data_uid: str
+    host_name: str
+    reference: str                 # path, file name or hash key on that host
+    protocol: str = "http"
+    uid: str = field(default_factory=lambda: new_auid("locator"))
+    #: locators on stable repository hosts are "permanent copies" (§3.4.1)
+    permanent: bool = False
+
+    def describe(self) -> str:
+        return f"{self.protocol}://{self.host_name}/{self.reference}"

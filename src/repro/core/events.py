@@ -1,0 +1,107 @@
+"""Data life-cycle events and callbacks (paper §3.3).
+
+"ActiveData allows programmers to install handlers, those are codes executed
+when some events occur during data life cycle: creation, copy and deletion."
+
+Handlers subclass :class:`ActiveDataEventHandler` and override any of
+``on_data_create_event`` / ``on_data_copy_event`` / ``on_data_delete_event``.
+CamelCase aliases matching the paper's Java listings
+(``onDataCopyEvent`` ...) are provided so the Updater example can be ported
+almost verbatim.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.attributes import Attribute
+from repro.core.data import Data
+
+__all__ = ["ActiveDataEventHandler", "DataEvent", "DataEventType", "EventBus"]
+
+
+class DataEventType(enum.Enum):
+    """The three life-cycle events of the paper."""
+
+    CREATE = "create"
+    COPY = "copy"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class DataEvent:
+    """One life-cycle occurrence delivered to handlers on a host."""
+
+    type: DataEventType
+    data: Data
+    attribute: Attribute
+    host_name: str
+    time: float
+
+
+class ActiveDataEventHandler:
+    """Base class for data life-cycle callbacks.
+
+    Override the snake_case methods; the camelCase aliases mirror the
+    paper's Java API and simply forward.
+    """
+
+    def on_data_create_event(self, data: Data, attribute: Attribute) -> None:
+        """Called when a data slot is created on this host's view."""
+
+    def on_data_copy_event(self, data: Data, attribute: Attribute) -> None:
+        """Called when a datum's content lands in this host's local cache."""
+
+    def on_data_delete_event(self, data: Data, attribute: Attribute) -> None:
+        """Called when a datum becomes obsolete and is removed from the cache."""
+
+    # -- paper-style aliases -------------------------------------------------
+    def onDataCreateEvent(self, data: Data, attribute: Attribute) -> None:  # noqa: N802
+        self.on_data_create_event(data, attribute)
+
+    def onDataCopyEvent(self, data: Data, attribute: Attribute) -> None:  # noqa: N802
+        self.on_data_copy_event(data, attribute)
+
+    def onDataDeleteEvent(self, data: Data, attribute: Attribute) -> None:  # noqa: N802
+        self.on_data_delete_event(data, attribute)
+
+
+class EventBus:
+    """Per-host dispatcher of data life-cycle events to installed handlers."""
+
+    def __init__(self, host_name: str):
+        self.host_name = host_name
+        self._handlers: List[ActiveDataEventHandler] = []
+        self.history: List[DataEvent] = []
+
+    def add_handler(self, handler: ActiveDataEventHandler) -> None:
+        if not isinstance(handler, ActiveDataEventHandler):
+            raise TypeError("handler must be an ActiveDataEventHandler")
+        self._handlers.append(handler)
+
+    def remove_handler(self, handler: ActiveDataEventHandler) -> None:
+        if handler in self._handlers:
+            self._handlers.remove(handler)
+
+    @property
+    def handler_count(self) -> int:
+        return len(self._handlers)
+
+    def dispatch(self, event_type: DataEventType, data: Data,
+                 attribute: Attribute, time: float) -> DataEvent:
+        event = DataEvent(type=event_type, data=data, attribute=attribute,
+                          host_name=self.host_name, time=time)
+        self.history.append(event)
+        for handler in list(self._handlers):
+            if event_type is DataEventType.CREATE:
+                handler.onDataCreateEvent(data, attribute)
+            elif event_type is DataEventType.COPY:
+                handler.onDataCopyEvent(data, attribute)
+            else:
+                handler.onDataDeleteEvent(data, attribute)
+        return event
+
+    def events_of(self, event_type: DataEventType) -> List[DataEvent]:
+        return [e for e in self.history if e.type is event_type]

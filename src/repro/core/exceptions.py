@@ -1,0 +1,26 @@
+"""Exception hierarchy of the BitDew core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "BitDewError",
+    "DataNotFoundError",
+    "SchedulingError",
+    "TransferAbortedError",
+]
+
+
+class BitDewError(RuntimeError):
+    """Base class of all BitDew-level errors."""
+
+
+class DataNotFoundError(BitDewError):
+    """A data slot (or its content) could not be located."""
+
+
+class SchedulingError(BitDewError):
+    """The Data Scheduler rejected or could not satisfy a request."""
+
+
+class TransferAbortedError(BitDewError):
+    """A supervised transfer failed definitively (after retries)."""

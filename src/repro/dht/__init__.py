@@ -1,0 +1,23 @@
+"""Distributed Hash Table substrate and the Distributed Data Catalog.
+
+The paper's prototype publishes data-replica locations (pairs of data
+identifier / host identifier) through the DKS DHT so that information about
+replicas held by volatile nodes is indexed without loading the centralized
+Data Catalog (§3.4.1).  DKS itself is not available; per ``DESIGN.md`` we
+substitute a Chord-style ring with the same observable properties: multi-hop
+key routing (``O(log n)`` hops), per-node storage, key replication over
+successors, resilience to node departure, and a publish operation that is
+substantially more expensive than a call to the centralized catalog
+(Table 3 measures that gap).
+
+* :mod:`repro.dht.chord` — the ring: nodes, finger tables, iterative lookup,
+  replication, join/leave/fail.
+* :mod:`repro.dht.ddc` — the Distributed Data Catalog built on the ring:
+  ``publish(data_id, host_id)`` / ``search(data_id)`` plus the generic
+  key/value interface the paper exposes to programmers.
+"""
+
+from repro.dht.chord import ChordNode, ChordRing, LookupResult
+from repro.dht.ddc import DistributedDataCatalog
+
+__all__ = ["ChordNode", "ChordRing", "DistributedDataCatalog", "LookupResult"]

@@ -1,0 +1,325 @@
+"""Chord-style distributed hash table.
+
+A faithful, simulation-friendly Chord implementation:
+
+* node identifiers are SHA-1 hashes truncated to ``m`` bits, arranged on a
+  ring;
+* every node keeps a finger table (``m`` entries) and a successor list
+  (for replication and failure resilience);
+* lookups route greedily through the closest preceding finger, exactly as in
+  the Chord paper, and report the hop path so the simulation can charge
+  per-hop latency and per-node service time;
+* keys are stored as ``key -> set(values)`` on the responsible node and
+  replicated to ``replication`` successors;
+* nodes can join, leave gracefully (handing keys to their successor) or fail
+  (keys survive on replicas).
+
+The ring maintains finger tables eagerly (a global rebuild on membership
+change) rather than running the periodic stabilisation protocol — the paper's
+experiments exercise lookup/publish performance, not churn convergence, and
+eager maintenance keeps the routing state exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["ChordNode", "ChordRing", "LookupResult"]
+
+
+def chord_hash(value: str, bits: int = 32) -> int:
+    """SHA-1 based identifier on the ``2**bits`` ring."""
+    digest = hashlib.sha1(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (1 << bits)
+
+
+def _in_interval(x: int, a: int, b: int, modulus: int,
+                 inclusive_right: bool = False) -> bool:
+    """True when x lies in the ring interval (a, b) (or (a, b]) modulo *modulus*."""
+    x, a, b = x % modulus, a % modulus, b % modulus
+    if a == b:
+        # The interval covers the whole ring (single-node case).
+        return inclusive_right or x != a
+    if a < b:
+        return a < x <= b if inclusive_right else a < x < b
+    return (x > a or x <= b) if inclusive_right else (x > a or x < b)
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a key lookup: the responsible node and the route taken."""
+
+    key_id: int
+    node: "ChordNode"
+    hops: List["ChordNode"] = field(default_factory=list)
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+
+class ChordNode:
+    """One DHT participant."""
+
+    def __init__(self, name: str, bits: int = 32):
+        self.name = name
+        self.bits = bits
+        self.node_id = chord_hash(name, bits)
+        self.fingers: List["ChordNode"] = []
+        self.successors: List["ChordNode"] = []
+        self.predecessor: Optional["ChordNode"] = None
+        self.storage: Dict[str, Set] = {}
+        self.alive = True
+        #: number of requests this node has served (lookup hops + stores)
+        self.requests_served = 0
+
+    def store(self, key: str, value) -> None:
+        self.storage.setdefault(key, set()).add(value)
+
+    def retrieve(self, key: str) -> Set:
+        return set(self.storage.get(key, set()))
+
+    def remove(self, key: str, value=None) -> bool:
+        if key not in self.storage:
+            return False
+        if value is None:
+            del self.storage[key]
+            return True
+        self.storage[key].discard(value)
+        if not self.storage[key]:
+            del self.storage[key]
+        return True
+
+    @property
+    def key_count(self) -> int:
+        return len(self.storage)
+
+    def closest_preceding_finger(self, key_id: int, modulus: int) -> "ChordNode":
+        for finger in reversed(self.fingers):
+            if finger.alive and _in_interval(finger.node_id, self.node_id,
+                                             key_id, modulus):
+                return finger
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChordNode({self.name!r}, id={self.node_id})"
+
+
+class ChordRing:
+    """The ring: membership, routing state, lookup, storage with replication."""
+
+    def __init__(self, bits: int = 32, replication: int = 2,
+                 successor_list_size: int = 4):
+        if bits < 8 or bits > 62:
+            raise ValueError("bits must be between 8 and 62")
+        if replication < 1:
+            raise ValueError("replication must be at least 1")
+        self.bits = bits
+        self.modulus = 1 << bits
+        self.replication = replication
+        self.successor_list_size = max(successor_list_size, replication)
+        self._nodes: Dict[str, ChordNode] = {}
+
+    # -- membership ---------------------------------------------------------------
+    @property
+    def nodes(self) -> List[ChordNode]:
+        return sorted((n for n in self._nodes.values() if n.alive),
+                      key=lambda n: n.node_id)
+
+    def __len__(self) -> int:
+        return len([n for n in self._nodes.values() if n.alive])
+
+    def get_node(self, name: str) -> ChordNode:
+        return self._nodes[name]
+
+    def join(self, name: str) -> ChordNode:
+        if name in self._nodes and self._nodes[name].alive:
+            raise ValueError(f"node {name!r} already in the ring")
+        node = ChordNode(name, self.bits)
+        if any(n.node_id == node.node_id and n.alive
+               for n in self._nodes.values()):
+            raise ValueError(f"identifier collision for {name!r}")
+        self._nodes[name] = node
+        self._rebuild()
+        # The new node takes over the keys it is now responsible for.
+        self._migrate_keys_to(node)
+        return node
+
+    def leave(self, name: str) -> None:
+        """Graceful departure: keys are handed to the successor first."""
+        node = self._nodes.get(name)
+        if node is None or not node.alive:
+            return
+        successor = self.successor_of_node(node)
+        if successor is not None and successor is not node:
+            for key, values in node.storage.items():
+                for value in values:
+                    successor.store(key, value)
+        node.alive = False
+        node.storage.clear()
+        del self._nodes[name]
+        self._rebuild()
+
+    def fail(self, name: str) -> None:
+        """Abrupt failure: the node's local keys are lost (replicas survive)."""
+        node = self._nodes.get(name)
+        if node is None or not node.alive:
+            return
+        node.alive = False
+        node.storage.clear()
+        del self._nodes[name]
+        self._rebuild()
+        self._restore_replication()
+
+    # -- routing state --------------------------------------------------------------
+    def _rebuild(self) -> None:
+        nodes = self.nodes
+        count = len(nodes)
+        if count == 0:
+            return
+        ids = [n.node_id for n in nodes]
+        for index, node in enumerate(nodes):
+            node.predecessor = nodes[index - 1]
+            node.successors = [
+                nodes[(index + 1 + k) % count]
+                for k in range(min(self.successor_list_size, count - 1) or 1)
+            ] or [node]
+            fingers = []
+            for i in range(self.bits):
+                target = (node.node_id + (1 << i)) % self.modulus
+                fingers.append(self._successor_of_id(target, nodes, ids))
+            node.fingers = fingers
+
+    @staticmethod
+    def _successor_of_id(key_id: int, nodes: List[ChordNode],
+                         ids: List[int]) -> ChordNode:
+        import bisect
+        index = bisect.bisect_left(ids, key_id)
+        return nodes[index % len(nodes)]
+
+    def successor_of(self, key_id: int) -> ChordNode:
+        nodes = self.nodes
+        if not nodes:
+            raise RuntimeError("the ring is empty")
+        return self._successor_of_id(key_id % self.modulus, nodes,
+                                     [n.node_id for n in nodes])
+
+    def successor_of_node(self, node: ChordNode) -> Optional[ChordNode]:
+        nodes = self.nodes
+        others = [n for n in nodes if n is not node]
+        if not others:
+            return None
+        return self._successor_of_id((node.node_id + 1) % self.modulus, others,
+                                     [n.node_id for n in others])
+
+    def replicas_for(self, key_id: int) -> List[ChordNode]:
+        """The responsible node followed by its replication successors."""
+        nodes = self.nodes
+        if not nodes:
+            return []
+        primary = self.successor_of(key_id)
+        result = [primary]
+        cursor = primary
+        while len(result) < min(self.replication, len(nodes)):
+            cursor = self.successor_of_node(cursor) or cursor
+            if cursor in result:
+                break
+            result.append(cursor)
+        return result
+
+    # -- lookup --------------------------------------------------------------------
+    def lookup(self, key: str, start: Optional[ChordNode] = None) -> LookupResult:
+        """Route from *start* to the node responsible for *key* (greedy fingers)."""
+        nodes = self.nodes
+        if not nodes:
+            raise RuntimeError("the ring is empty")
+        key_id = chord_hash(key, self.bits)
+        current = start if start is not None and start.alive else nodes[0]
+        hops: List[ChordNode] = []
+        target = self.successor_of(key_id)
+        # Greedy finger routing, bounded to avoid pathological loops.
+        for _ in range(2 * self.bits):
+            current.requests_served += 1
+            if current is target:
+                break
+            successor = self.successor_of_node(current) or current
+            if _in_interval(key_id, current.node_id, successor.node_id,
+                            self.modulus, inclusive_right=True):
+                hops.append(successor)
+                successor.requests_served += 1
+                current = successor
+                break
+            nxt = current.closest_preceding_finger(key_id, self.modulus)
+            if nxt is current:
+                nxt = successor
+            hops.append(nxt)
+            current = nxt
+        return LookupResult(key_id=key_id, node=target, hops=hops)
+
+    # -- storage --------------------------------------------------------------------
+    def put(self, key: str, value, start: Optional[ChordNode] = None) -> LookupResult:
+        result = self.lookup(key, start)
+        for replica in self.replicas_for(result.key_id):
+            replica.store(key, value)
+        return result
+
+    def get(self, key: str, start: Optional[ChordNode] = None) -> Tuple[Set, LookupResult]:
+        result = self.lookup(key, start)
+        values = result.node.retrieve(key)
+        if not values:
+            # Fall back to replicas (the primary may have just joined or failed).
+            for replica in self.replicas_for(result.key_id):
+                values = replica.retrieve(key)
+                if values:
+                    break
+        return values, result
+
+    def delete(self, key: str, value=None,
+               start: Optional[ChordNode] = None) -> LookupResult:
+        result = self.lookup(key, start)
+        for replica in self.replicas_for(result.key_id):
+            replica.remove(key, value)
+        return result
+
+    # -- maintenance -------------------------------------------------------------------
+    def _migrate_keys_to(self, node: ChordNode) -> None:
+        """Move keys the new node is now responsible for from its successor."""
+        successor = self.successor_of_node(node)
+        if successor is None:
+            return
+        to_move = [
+            key for key in successor.storage
+            if self.successor_of(chord_hash(key, self.bits)) is node
+        ]
+        for key in to_move:
+            for value in successor.retrieve(key):
+                node.store(key, value)
+        # The old holder keeps its copy as a replica; replication repair below
+        # keeps the invariant tight.
+        self._restore_replication()
+
+    def _restore_replication(self) -> None:
+        """Ensure every key is present on its current replica set."""
+        if not self.nodes:
+            return
+        all_items: List[Tuple[str, object]] = []
+        for node in self.nodes:
+            for key, values in node.storage.items():
+                for value in values:
+                    all_items.append((key, value))
+        for key, value in all_items:
+            for replica in self.replicas_for(chord_hash(key, self.bits)):
+                replica.store(key, value)
+
+    # -- introspection -----------------------------------------------------------------
+    def total_keys(self) -> int:
+        seen = set()
+        for node in self.nodes:
+            for key in node.storage:
+                seen.add(key)
+        return len(seen)
+
+    def load_distribution(self) -> Dict[str, int]:
+        return {node.name: node.key_count for node in self.nodes}

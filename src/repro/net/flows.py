@@ -1,0 +1,408 @@
+"""Flow-level bandwidth-sharing network model.
+
+Transfers are modelled as *fluid flows*.  Each flow has a source host, a
+destination host, a size (MB) and a remaining volume.  At any instant every
+active flow receives a rate determined by **max-min fair sharing** subject to
+capacity constraints:
+
+* the source host's uplink capacity,
+* the destination host's downlink capacity,
+* optionally, per-cluster WAN gateway capacities (egress and ingress) for
+  flows crossing cluster boundaries — this is how the Grid'5000 multi-cluster
+  topology of Table 1 is modelled.
+
+Whenever the set of active flows changes (a flow starts, finishes, or is
+aborted because a host failed) the allocation is recomputed and the next
+completion is rescheduled.  This is the standard flow-level approximation
+used by grid simulators; it captures the first-order effect the paper's
+transfer experiments measure — the file server's uplink is the bottleneck for
+FTP-style distribution, so completion time grows with the number of
+concurrent downloaders, while a swarm protocol spreads load over all peers.
+
+Control-plane traffic (the BitDew protocol's heartbeats and transfer-monitor
+messages, §4.3 of the paper) is modelled as *background load*: a reserved
+rate subtracted from a constraint's capacity, see
+:meth:`Network.add_background_load`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Environment, Event
+from repro.net.host import Host
+
+__all__ = ["Flow", "Network", "TransferFailed"]
+
+_flow_counter = itertools.count()
+
+#: Rates below this (MB/s) are treated as zero to avoid numerical dust.
+_EPSILON = 1e-12
+
+
+class TransferFailed(Exception):
+    """Raised (through the flow's event) when a transfer is aborted."""
+
+    def __init__(self, flow: "Flow", reason: str):
+        super().__init__(f"transfer {flow.label or flow.fid} failed: {reason}")
+        self.flow = flow
+        self.reason = reason
+
+
+class Flow:
+    """One fluid transfer between two hosts."""
+
+    def __init__(self, env: Environment, src: Host, dst: Host, size_mb: float,
+                 label: Optional[str] = None,
+                 rate_cap_mbps: Optional[float] = None):
+        if size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+        if rate_cap_mbps is not None and rate_cap_mbps <= 0:
+            raise ValueError("rate_cap_mbps must be positive")
+        self.fid = next(_flow_counter)
+        self.env = env
+        self.src = src
+        self.dst = dst
+        self.size_mb = float(size_mb)
+        self.remaining_mb = float(size_mb)
+        self.rate_mbps = 0.0
+        self.rate_cap_mbps = rate_cap_mbps
+        self.label = label
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        #: Event triggered when the flow completes (value = the flow) or
+        #: fails (TransferFailed).
+        self.done = env.event()
+        self.aborted = False
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    @property
+    def transferred_mb(self) -> float:
+        return self.size_mb - self.remaining_mb
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def mean_rate_mbps(self) -> Optional[float]:
+        """Average goodput over the flow's lifetime (MB/s)."""
+        dur = self.duration
+        if dur is None or dur <= 0:
+            return None
+        return self.transferred_mb / dur
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Flow(#{self.fid} {self.src.name}->{self.dst.name} "
+            f"{self.remaining_mb:.2f}/{self.size_mb:.2f}MB @ {self.rate_mbps:.2f}MB/s)"
+        )
+
+
+class _Constraint:
+    """A capacity constraint over a set of flows (one link direction)."""
+
+    __slots__ = ("key", "capacity", "reserved")
+
+    def __init__(self, key: Tuple, capacity: float):
+        self.key = key
+        self.capacity = capacity
+        self.reserved = 0.0
+
+    @property
+    def effective_capacity(self) -> float:
+        return max(0.0, self.capacity - self.reserved)
+
+
+class Network:
+    """The flow network: registers hosts, runs transfers, shares bandwidth."""
+
+    def __init__(self, env: Environment, default_latency_s: float = 0.001,
+                 wan_latency_s: float = 0.01):
+        self.env = env
+        self.default_latency_s = float(default_latency_s)
+        self.wan_latency_s = float(wan_latency_s)
+        self.hosts: Dict[str, Host] = {}
+        self._active: List[Flow] = []
+        self._pending_latency: Dict[int, Flow] = {}
+        #: cluster name -> (egress MB/s, ingress MB/s); None means unlimited.
+        self._cluster_gateways: Dict[str, Tuple[float, float]] = {}
+        #: background (reserved) rates per constraint key.
+        self._background: Dict[Tuple, float] = {}
+        self._last_update = env.now
+        self._wake_token = 0
+        #: statistics
+        self.completed_flows = 0
+        self.failed_flows = 0
+        self.total_mb_delivered = 0.0
+
+    # -- topology ------------------------------------------------------------
+    def add_host(self, host: Host) -> Host:
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        self.hosts[host.name] = host
+        host.on_failure(self._on_host_failure)
+        return host
+
+    def get_host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def set_cluster_gateway(self, cluster: str, egress_mbps: float,
+                            ingress_mbps: Optional[float] = None) -> None:
+        """Cap the aggregate rate of flows leaving/entering a cluster."""
+        if egress_mbps <= 0:
+            raise ValueError("egress capacity must be positive")
+        ingress = egress_mbps if ingress_mbps is None else ingress_mbps
+        if ingress <= 0:
+            raise ValueError("ingress capacity must be positive")
+        self._cluster_gateways[cluster] = (float(egress_mbps), float(ingress))
+        self._recompute()
+
+    # -- background load -----------------------------------------------------
+    def add_background_load(self, host: Host, direction: str, rate_mbps: float) -> None:
+        """Reserve ``rate_mbps`` of a host's uplink/downlink for control traffic."""
+        if direction not in ("up", "down"):
+            raise ValueError("direction must be 'up' or 'down'")
+        key = ("host-up", host.uid) if direction == "up" else ("host-down", host.uid)
+        self._background[key] = self._background.get(key, 0.0) + float(rate_mbps)
+        self._recompute()
+
+    def remove_background_load(self, host: Host, direction: str, rate_mbps: float) -> None:
+        """Release previously reserved control-traffic bandwidth."""
+        key = ("host-up", host.uid) if direction == "up" else ("host-down", host.uid)
+        current = self._background.get(key, 0.0) - float(rate_mbps)
+        if current <= _EPSILON:
+            self._background.pop(key, None)
+        else:
+            self._background[key] = current
+        self._recompute()
+
+    # -- transfers -------------------------------------------------------------
+    def latency_between(self, src: Host, dst: Host) -> float:
+        if src is dst:
+            return 0.0
+        if src.cluster == dst.cluster:
+            return self.default_latency_s
+        return self.wan_latency_s
+
+    def transfer(self, src: Host, dst: Host, size_mb: float,
+                 label: Optional[str] = None,
+                 extra_latency_s: float = 0.0,
+                 rate_cap_mbps: Optional[float] = None) -> Flow:
+        """Start a transfer of ``size_mb`` MB from *src* to *dst*.
+
+        Returns the :class:`Flow`; wait on ``flow.done`` for completion.  A
+        transfer from a host to itself completes after just the extra latency.
+        ``rate_cap_mbps`` adds a per-flow application-level throughput cap
+        (used to model protocol clients that cannot saturate a fast LAN link).
+        """
+        if src.name not in self.hosts or dst.name not in self.hosts:
+            raise KeyError("both hosts must be registered with the network")
+        flow = Flow(self.env, src, dst, size_mb, label=label,
+                    rate_cap_mbps=rate_cap_mbps)
+        if not src.online or not dst.online:
+            flow.done.fail(TransferFailed(flow, "endpoint offline at start"))
+            flow.done.defused = True
+            self.failed_flows += 1
+            return flow
+        latency = self.latency_between(src, dst) + max(0.0, extra_latency_s)
+        flow.start_time = self.env.now
+
+        if size_mb <= _EPSILON or src is dst:
+            # Pure-latency transfer (control message or local copy).
+            def _finish(_evt, flow=flow):
+                if flow.aborted:
+                    return
+                flow.end_time = self.env.now
+                self.completed_flows += 1
+                self.total_mb_delivered += flow.size_mb
+                flow.done.succeed(flow)
+
+            self.env.timeout(latency).add_callback(_finish)
+            return flow
+
+        self._pending_latency[flow.fid] = flow
+
+        def _activate(_evt, flow=flow):
+            self._pending_latency.pop(flow.fid, None)
+            if flow.aborted:
+                return
+            if not flow.src.online or not flow.dst.online:
+                self._fail_flow(flow, "endpoint offline")
+                return
+            self._advance()
+            self._active.append(flow)
+            self._recompute()
+
+        self.env.timeout(latency).add_callback(_activate)
+        return flow
+
+    def abort(self, flow: Flow, reason: str = "aborted") -> None:
+        """Abort an in-progress transfer (its ``done`` event fails)."""
+        if flow.finished or flow.aborted:
+            return
+        self._advance()
+        self._fail_flow(flow, reason)
+        self._recompute()
+
+    @property
+    def active_flows(self) -> List[Flow]:
+        return list(self._active)
+
+    # -- failure handling -------------------------------------------------------
+    def _on_host_failure(self, host: Host) -> None:
+        self._advance()
+        for flow in [f for f in self._active] + list(self._pending_latency.values()):
+            if flow.src is host or flow.dst is host:
+                self._fail_flow(flow, f"host {host.name} failed")
+        self._recompute()
+
+    def _fail_flow(self, flow: Flow, reason: str) -> None:
+        flow.aborted = True
+        flow.end_time = self.env.now
+        if flow in self._active:
+            self._active.remove(flow)
+        self._pending_latency.pop(flow.fid, None)
+        self.failed_flows += 1
+        if not flow.done.triggered:
+            flow.done.fail(TransferFailed(flow, reason))
+            # Abort is an expected outcome; don't crash the simulation if the
+            # initiator stopped listening (e.g. it crashed too).
+            flow.done.defused = True
+
+    # -- bandwidth sharing -------------------------------------------------------
+    def _build_constraints(self) -> Tuple[Dict[Tuple, _Constraint], Dict[int, List[Tuple]]]:
+        constraints: Dict[Tuple, _Constraint] = {}
+        membership: Dict[int, List[Tuple]] = {}
+
+        def constraint(key: Tuple, capacity: float) -> _Constraint:
+            con = constraints.get(key)
+            if con is None:
+                con = _Constraint(key, capacity)
+                con.reserved = self._background.get(key, 0.0)
+                constraints[key] = con
+            return con
+
+        for flow in self._active:
+            keys = []
+            if flow.rate_cap_mbps is not None:
+                cap_key = ("flow-cap", flow.fid)
+                constraint(cap_key, flow.rate_cap_mbps)
+                keys.append(cap_key)
+            up_key = ("host-up", flow.src.uid)
+            constraint(up_key, flow.src.uplink_mbps)
+            keys.append(up_key)
+            down_key = ("host-down", flow.dst.uid)
+            constraint(down_key, flow.dst.downlink_mbps)
+            keys.append(down_key)
+            if flow.src.cluster != flow.dst.cluster:
+                egress = self._cluster_gateways.get(flow.src.cluster)
+                if egress is not None:
+                    key = ("wan-egress", flow.src.cluster)
+                    constraint(key, egress[0])
+                    keys.append(key)
+                ingress = self._cluster_gateways.get(flow.dst.cluster)
+                if ingress is not None:
+                    key = ("wan-ingress", flow.dst.cluster)
+                    constraint(key, ingress[1])
+                    keys.append(key)
+            membership[flow.fid] = keys
+        return constraints, membership
+
+    def _allocate_rates(self) -> None:
+        """Max-min fair allocation via progressive filling."""
+        if not self._active:
+            return
+        constraints, membership = self._build_constraints()
+        remaining_capacity = {
+            key: con.effective_capacity for key, con in constraints.items()
+        }
+        unfixed = {flow.fid: flow for flow in self._active}
+        rates: Dict[int, float] = {}
+
+        while unfixed:
+            # For each constraint, the fair share available to its unfixed flows.
+            best_share = math.inf
+            best_key = None
+            counts: Dict[Tuple, int] = {}
+            for fid in unfixed:
+                for key in membership[fid]:
+                    counts[key] = counts.get(key, 0) + 1
+            if not counts:
+                break
+            for key, count in counts.items():
+                share = remaining_capacity[key] / count
+                if share < best_share:
+                    best_share = share
+                    best_key = key
+            if best_key is None:  # pragma: no cover - defensive
+                break
+            best_share = max(0.0, best_share)
+            # Fix every unfixed flow crossing the bottleneck constraint.
+            fixed_now = [
+                fid for fid in unfixed if best_key in membership[fid]
+            ]
+            for fid in fixed_now:
+                rates[fid] = best_share
+                for key in membership[fid]:
+                    remaining_capacity[key] = max(
+                        0.0, remaining_capacity[key] - best_share
+                    )
+                del unfixed[fid]
+
+        for flow in self._active:
+            flow.rate_mbps = rates.get(flow.fid, 0.0)
+
+    def _advance(self) -> None:
+        """Progress all active flows from the last update time to now."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt > 0:
+            for flow in self._active:
+                flow.remaining_mb = max(0.0, flow.remaining_mb - flow.rate_mbps * dt)
+        self._last_update = now
+
+    def _recompute(self) -> None:
+        """Re-allocate rates and schedule the next completion wake-up."""
+        # Bring every flow's remaining volume up to date before re-allocating
+        # (idempotent: _advance() is a no-op when already at the current time).
+        self._advance()
+        # Complete flows that have (numerically) finished.
+        finished = [f for f in self._active if f.remaining_mb <= 1e-9]
+        for flow in finished:
+            self._active.remove(flow)
+            flow.remaining_mb = 0.0
+            flow.end_time = self.env.now
+            self.completed_flows += 1
+            self.total_mb_delivered += flow.size_mb
+            flow.done.succeed(flow)
+
+        self._allocate_rates()
+        self._wake_token += 1
+        if not self._active:
+            return
+        token = self._wake_token
+        horizon = math.inf
+        for flow in self._active:
+            if flow.rate_mbps > _EPSILON:
+                horizon = min(horizon, flow.remaining_mb / flow.rate_mbps)
+        if not math.isfinite(horizon):
+            # All active flows are starved (zero capacity); nothing to schedule —
+            # a topology/background change will trigger a new recompute.
+            return
+        horizon = max(horizon, 0.0)
+
+        def _wake(_evt, token=token):
+            if token != self._wake_token:
+                return  # superseded by a more recent recompute
+            self._advance()
+            self._recompute()
+
+        self.env.timeout(horizon).add_callback(_wake)

@@ -1,0 +1,143 @@
+"""RPC layer standing in for Java RMI.
+
+The BitDew prototype uses Java RMI between the API layer and the D*
+services.  Table 2 of the paper distinguishes three call paths:
+
+* ``local`` — a direct function call (client and service in one JVM, no RMI),
+* ``RMI local`` — an RMI call over the loopback interface,
+* ``RMI remote`` — an RMI call between two machines on the LAN.
+
+:class:`RpcChannel` reproduces these as latency profiles; the round-trip
+costs are calibrated so that the data-slot-creation micro-benchmark
+(Table 2) lands in the paper's bands (see ``benchmarks/``).  A channel can
+also charge a per-kilobyte marshalling cost for larger payloads.
+
+A :class:`RpcEndpoint` wraps a service object; ``channel.invoke(endpoint,
+"method", ...)`` is a generator meant to be yielded from inside a simulation
+process.  If the target method itself returns a generator it is run as a
+sub-process (so services can perform their own simulated waits, e.g.
+database accesses).
+"""
+
+from __future__ import annotations
+
+import enum
+import inspect
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.sim.kernel import Environment
+
+__all__ = ["ChannelKind", "RpcChannel", "RpcEndpoint", "RpcError"]
+
+
+class RpcError(RuntimeError):
+    """Raised when an RPC cannot be completed (e.g. the service host is down)."""
+
+
+class ChannelKind(enum.Enum):
+    """The three call paths measured by Table 2."""
+
+    LOCAL = "local"
+    RMI_LOCAL = "rmi local"
+    RMI_REMOTE = "rmi remote"
+
+
+#: Calibrated round-trip latencies (seconds).  "local" is a plain call.
+_DEFAULT_RTT = {
+    ChannelKind.LOCAL: 0.0,
+    ChannelKind.RMI_LOCAL: 130e-6,
+    ChannelKind.RMI_REMOTE: 245e-6,
+}
+
+#: Marshalling cost per KB of payload (seconds/KB); RMI serialisation is slow.
+_DEFAULT_PER_KB = {
+    ChannelKind.LOCAL: 0.0,
+    ChannelKind.RMI_LOCAL: 2e-6,
+    ChannelKind.RMI_REMOTE: 4e-6,
+}
+
+
+@dataclass
+class RpcEndpoint:
+    """A service object reachable through a channel.
+
+    ``host`` is optional; when given, calls fail with :class:`RpcError` while
+    the host is offline (this is how the transient-fault model for service
+    nodes manifests to clients).
+    """
+
+    service: Any
+    host: Any = None
+    name: Optional[str] = None
+
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        return type(self.service).__name__
+
+
+class RpcChannel:
+    """A latency-modelled request/response channel."""
+
+    def __init__(
+        self,
+        env: Environment,
+        kind: ChannelKind = ChannelKind.RMI_REMOTE,
+        round_trip_s: Optional[float] = None,
+        per_kb_s: Optional[float] = None,
+    ):
+        self.env = env
+        self.kind = kind
+        self.round_trip_s = (
+            _DEFAULT_RTT[kind] if round_trip_s is None else float(round_trip_s)
+        )
+        self.per_kb_s = (
+            _DEFAULT_PER_KB[kind] if per_kb_s is None else float(per_kb_s)
+        )
+        #: Counters useful for protocol-overhead accounting (Figure 3b/3c).
+        self.calls = 0
+        self.total_latency_s = 0.0
+
+    def call_cost(self, payload_kb: float = 1.0) -> float:
+        """Latency charged for one round trip carrying ``payload_kb`` KB."""
+        return self.round_trip_s + self.per_kb_s * max(0.0, payload_kb)
+
+    def invoke(self, endpoint: RpcEndpoint, method: str, *args,
+               payload_kb: float = 1.0, **kwargs):
+        """Generator performing one remote invocation.
+
+        Yields the request latency, runs the target method (as a sub-process
+        when it is a generator), then yields the response latency, and
+        finally returns the method's result.
+        """
+        if endpoint.host is not None and not endpoint.host.online:
+            raise RpcError(
+                f"service host {endpoint.host.name} is offline "
+                f"(calling {endpoint.label()}.{method})"
+            )
+        target = getattr(endpoint.service, method)
+        cost = self.call_cost(payload_kb)
+        self.calls += 1
+        self.total_latency_s += cost
+        if cost > 0:
+            yield self.env.timeout(cost / 2.0)
+        result = target(*args, **kwargs)
+        if inspect.isgenerator(result):
+            result = yield self.env.process(result)
+        if cost > 0:
+            yield self.env.timeout(cost / 2.0)
+        if endpoint.host is not None and not endpoint.host.online:
+            raise RpcError(
+                f"service host {endpoint.host.name} failed during the call "
+                f"to {endpoint.label()}.{method}"
+            )
+        return result
+
+
+def channel_for(env: Environment, kind: ChannelKind) -> RpcChannel:
+    """Convenience factory mirroring the paper's three experimental settings."""
+    return RpcChannel(env, kind)
+
+
+__all__.append("channel_for")

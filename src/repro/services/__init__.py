@@ -1,0 +1,42 @@
+"""The BitDew service layer (paper §3.4): the D* services.
+
+Stable nodes run four independent services which together form the runtime
+environment:
+
+* :mod:`repro.services.data_catalog` — **Data Catalog (DC)**: indexes data
+  meta-information and locators; the permanent copies' critical path.
+* :mod:`repro.services.data_repository` — **Data Repository (DR)**: the
+  interface to persistent storage with remote access (a wrapper around a
+  file server / file system).
+* :mod:`repro.services.data_transfer` — **Data Transfer (DT)**: launches
+  out-of-band transfers, supervises them (receiver-driven probing), resumes
+  faulty transfers and reports bandwidth.
+* :mod:`repro.services.data_scheduler` — **Data Scheduler (DS)**: interprets
+  data attributes and generates transfer orders (Algorithm 1); owns the
+  fault-tolerance logic for volatile reservoir hosts.
+
+plus two supporting modules:
+
+* :mod:`repro.services.heartbeat` — the timeout-based failure detector used
+  for volatile nodes (failures detected after 3 missed heartbeats in the
+  paper's experiments).
+* :mod:`repro.services.container` — the service container that instantiates
+  and wires the D* services on a stable host.
+"""
+
+from repro.services.data_catalog import DataCatalogService
+from repro.services.data_repository import DataRepositoryService
+from repro.services.data_scheduler import DataSchedulerService, SyncResult
+from repro.services.data_transfer import DataTransferService
+from repro.services.heartbeat import FailureDetector
+from repro.services.container import ServiceContainer
+
+__all__ = [
+    "DataCatalogService",
+    "DataRepositoryService",
+    "DataSchedulerService",
+    "DataTransferService",
+    "FailureDetector",
+    "ServiceContainer",
+    "SyncResult",
+]

@@ -1,0 +1,150 @@
+"""Data Catalog service (DC, paper §3.4.1).
+
+The DC indexes every datum's meta-information (name, checksum, size, flags,
+status) and the *locators* of its permanent copies — copies living on stable
+repository hosts.  Replica locations on volatile hosts are **not** stored
+here; they go to the Distributed Data Catalog (the DHT), which keeps the
+DC's critical path short and load-balances replica look-ups.
+
+All protocol-facing methods are generators: they pay the database engine's
+simulated costs, which is exactly what the Table 2 micro-benchmark measures
+(one remote data creation is an object creation on the client, an RMI
+round-trip and a database write to serialise the object).  Cost-free
+``*_now`` variants back the unit tests and internal bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.data import Data, DataStatus, Locator
+from repro.core.exceptions import DataNotFoundError
+from repro.storage.database import Database
+
+__all__ = ["DataCatalogService"]
+
+_DATA = "dc.data"
+_LOCATORS = "dc.locators"
+_KV = "dc.keyvalue"
+
+
+class DataCatalogService:
+    """Central index of data meta-information and permanent-copy locators."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        #: protocol statistics (used by the overhead accounting)
+        self.requests = 0
+
+    # ------------------------------------------------------------------ data
+    def register_data(self, data: Data):
+        """Generator: create the data slot in the catalog (one DB write)."""
+        self.requests += 1
+        yield from self.database.upsert(_DATA, data.uid, data)
+        return data
+
+    def register_data_now(self, data: Data) -> Data:
+        self.database.raw_upsert(_DATA, data.uid, data)
+        return data
+
+    def get_data(self, uid: str):
+        """Generator: fetch one datum by uid (one DB read)."""
+        self.requests += 1
+        data = yield from self.database.get(_DATA, uid)
+        if data is None:
+            raise DataNotFoundError(f"no data with uid {uid!r} in the catalog")
+        return data
+
+    def get_data_now(self, uid: str) -> Optional[Data]:
+        return self.database.raw_get(_DATA, uid)
+
+    def find_by_name(self, name: str):
+        """Generator: all data whose label equals *name* (one DB query)."""
+        self.requests += 1
+        rows = yield from self.database.query(_DATA, lambda d: d.name == name)
+        return rows
+
+    def find_by_name_now(self, name: str) -> List[Data]:
+        return self.database.raw_query(_DATA, lambda d: d.name == name)
+
+    def update_status(self, uid: str, status: DataStatus):
+        """Generator: update a datum's life-cycle status."""
+        self.requests += 1
+
+        def _update():
+            data = self.database.raw_get(_DATA, uid)
+            if data is None:
+                raise DataNotFoundError(f"no data with uid {uid!r} in the catalog")
+            data.status = status
+            self.database.raw_upsert(_DATA, uid, data)
+            return data
+
+        result = yield from self.database.execute(_update, statements=2)
+        return result
+
+    def delete_data(self, uid: str):
+        """Generator: remove a datum and its locators from the catalog."""
+        self.requests += 1
+
+        def _delete():
+            removed = self.database.raw_delete(_DATA, uid)
+            for loc in self.database.raw_query(_LOCATORS,
+                                               lambda l: l.data_uid == uid):
+                self.database.raw_delete(_LOCATORS, loc.uid)
+            return removed
+
+        removed = yield from self.database.execute(_delete, statements=2)
+        return removed
+
+    def all_data_now(self) -> List[Data]:
+        return self.database.raw_query(_DATA)
+
+    @property
+    def data_count(self) -> int:
+        return self.database.size(_DATA)
+
+    # ------------------------------------------------------------------ locators
+    def add_locator(self, locator: Locator):
+        """Generator: register a permanent copy's location."""
+        self.requests += 1
+        yield from self.database.upsert(_LOCATORS, locator.uid, locator)
+        return locator
+
+    def add_locator_now(self, locator: Locator) -> Locator:
+        self.database.raw_upsert(_LOCATORS, locator.uid, locator)
+        return locator
+
+    def locators_for(self, data_uid: str):
+        """Generator: all known locators of a datum."""
+        self.requests += 1
+        rows = yield from self.database.query(
+            _LOCATORS, lambda l: l.data_uid == data_uid)
+        return rows
+
+    def locators_for_now(self, data_uid: str) -> List[Locator]:
+        return self.database.raw_query(_LOCATORS, lambda l: l.data_uid == data_uid)
+
+    # ------------------------------------------------------------------ key/value
+    def publish_pair(self, key: str, value):
+        """Generator: the centralized counterpart of the DDC publish (Table 3)."""
+        self.requests += 1
+
+        def _insert():
+            existing = self.database.raw_get(_KV, key) or set()
+            existing = set(existing)
+            existing.add(value)
+            self.database.raw_upsert(_KV, key, existing)
+            return existing
+
+        result = yield from self.database.execute(_insert)
+        return result
+
+    def lookup_pair(self, key: str):
+        """Generator: read back the values published under *key*."""
+        self.requests += 1
+        values = yield from self.database.get(_KV, key, set())
+        return set(values) if values else set()
+
+    def lookup_pair_now(self, key: str) -> set:
+        values = self.database.raw_get(_KV, key, set())
+        return set(values) if values else set()

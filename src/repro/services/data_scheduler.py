@@ -1,0 +1,338 @@
+"""Data Scheduler service (DS) — Algorithm 1 of the paper.
+
+The DS owns the *data-driven* scheduling of BitDew: reservoir hosts
+periodically synchronise with it, presenting the set of data held in their
+local cache (Δk); the DS scans the data under its management (Θ) and
+returns the new cache content (Ψk).  The host then deletes obsolete data
+(Δk \\ Ψk), keeps validated data (Δk ∩ Ψk) and downloads newly assigned
+data (Ψk \\ Δk).
+
+Scheduling decisions follow the paper's attributes:
+
+* **lifetime** — data whose absolute lifetime expired, or whose relative
+  lifetime references a datum no longer managed, is dropped;
+* **affinity** — a datum with an affinity towards data present in the host's
+  cache is always assigned (affinity is stronger than replica);
+* **replica** — a datum is assigned while its number of active owners is
+  below the requested replica count (``-1`` = every host);
+* **fault tolerance** — owners are tracked per datum; when the failure
+  detector declares a host dead, the host is removed from the owner lists of
+  fault-tolerant data only, which makes the runtime re-schedule them
+  elsewhere (non-fault-tolerant replicas simply stay unavailable while the
+  host is down, §3.2);
+* at most ``max_data_schedule`` new data are assigned per synchronisation.
+
+Note: line 21 of the paper's pseudo-code reads ``replica < |Ω|``; given the
+prose ("schedule new data transfers to hosts if the number of owners is less
+than the number of replica") this is a typo for ``|Ω| < replica``, which is
+what this implementation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.attributes import Attribute, DEFAULT_ATTRIBUTE
+from repro.core.data import Data
+from repro.core.exceptions import SchedulingError
+from repro.sim.kernel import Environment
+from repro.services.heartbeat import FailureDetector
+from repro.storage.database import Database
+
+__all__ = ["DataSchedulerService", "ScheduledEntry", "SyncResult"]
+
+
+@dataclass
+class ScheduledEntry:
+    """One datum under the scheduler's management (an element of Θ)."""
+
+    data: Data
+    attribute: Attribute
+    scheduled_at: float
+    #: active owners Ω(D): hosts believed to hold a live replica
+    owners: Set[str] = field(default_factory=set)
+    #: hosts that pinned the datum (it must stay with them; never reclaimed)
+    pinned_on: Set[str] = field(default_factory=set)
+
+    @property
+    def uid(self) -> str:
+        return self.data.uid
+
+
+@dataclass
+class SyncResult:
+    """What a reservoir host receives from one synchronisation."""
+
+    host_name: str
+    #: full new cache content Ψk: (data, attribute) pairs
+    assigned: List[Tuple[Data, Attribute]]
+    #: uids the host should delete (Δk \\ Ψk)
+    to_delete: List[str]
+    #: uids the host should download (Ψk \\ Δk)
+    to_download: List[str]
+    time: float = 0.0
+
+
+class DataSchedulerService:
+    """Interprets data attributes and generates transfer orders (Algorithm 1)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        database: Optional[Database] = None,
+        failure_detector: Optional[FailureDetector] = None,
+        max_data_schedule: int = 16,
+        sync_cost_statements: int = 1,
+    ):
+        self.env = env
+        self.database = database
+        self.failure_detector = failure_detector
+        if self.failure_detector is not None:
+            self.failure_detector.on_failure(self._on_host_failure)
+        self.max_data_schedule = int(max_data_schedule)
+        self.sync_cost_statements = int(sync_cost_statements)
+        #: Θ: uid -> entry
+        self._entries: Dict[str, ScheduledEntry] = {}
+        #: per-host cache view from the last synchronisation
+        self._host_caches: Dict[str, Set[str]] = {}
+        #: statistics
+        self.sync_count = 0
+        self.assignments = 0
+        self.repairs_triggered = 0
+
+    # ------------------------------------------------------------------ Θ management
+    def schedule(self, data: Data, attribute: Optional[Attribute] = None) -> ScheduledEntry:
+        """Associate *data* with *attribute* and put it under management."""
+        attr = attribute if attribute is not None else DEFAULT_ATTRIBUTE
+        entry = self._entries.get(data.uid)
+        if entry is None:
+            entry = ScheduledEntry(data=data, attribute=attr,
+                                   scheduled_at=self.env.now)
+            self._entries[data.uid] = entry
+        else:
+            entry.attribute = attr
+        if self.database is not None:
+            self.database.raw_upsert("ds.entries", data.uid, {
+                "data": data, "attribute": attr, "at": self.env.now})
+        return entry
+
+    def pin(self, data: Data, host_name: str,
+            attribute: Optional[Attribute] = None) -> ScheduledEntry:
+        """Schedule *data* and record that *host_name* owns it (paper §3.3)."""
+        entry = self.schedule(data, attribute)
+        entry.pinned_on.add(host_name)
+        entry.owners.add(host_name)
+        return entry
+
+    def unschedule(self, data_uid: str) -> bool:
+        """Remove a datum from management; hosts drop it at their next sync."""
+        removed = self._entries.pop(data_uid, None)
+        if self.database is not None:
+            self.database.raw_delete("ds.entries", data_uid)
+        return removed is not None
+
+    def entry(self, data_uid: str) -> Optional[ScheduledEntry]:
+        return self._entries.get(data_uid)
+
+    def entries(self) -> List[ScheduledEntry]:
+        return list(self._entries.values())
+
+    def owners_of(self, data_uid: str) -> Set[str]:
+        entry = self._entries.get(data_uid)
+        return set(entry.owners) if entry else set()
+
+    @property
+    def managed_count(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ lifetime
+    def _lifetime_valid(self, entry: ScheduledEntry) -> bool:
+        attr = entry.attribute
+        if attr.absolute_lifetime is not None:
+            if self.env.now > entry.scheduled_at + attr.absolute_lifetime:
+                return False
+        if attr.relative_lifetime is not None:
+            if self._resolve_reference(attr.relative_lifetime) is None:
+                return False
+        return True
+
+    def _resolve_reference(self, reference: str) -> Optional[ScheduledEntry]:
+        """Resolve an affinity / relative-lifetime reference (uid or name)."""
+        matches = self._resolve_all(reference)
+        return matches[0] if matches else None
+
+    def _resolve_all(self, reference: str) -> List[ScheduledEntry]:
+        """All managed entries a reference designates.
+
+        A reference may be a data uid, a data name, or an *attribute* name
+        (the paper's Listing 3 uses attribute names: ``affinity = Sequence``
+        designates every datum scheduled under the Sequence attribute).
+        """
+        entry = self._entries.get(reference)
+        if entry is not None:
+            return [entry]
+        return [
+            candidate for candidate in self._entries.values()
+            if candidate.data.name == reference
+            or candidate.attribute.name == reference
+        ]
+
+    def expire_lifetimes(self) -> List[str]:
+        """Drop entries whose lifetime expired; returns the dropped uids.
+
+        Relative lifetimes are resolved transitively: deleting the Collector
+        obsoletes every datum whose lifetime references it (§5).
+        """
+        dropped: List[str] = []
+        changed = True
+        while changed:
+            changed = False
+            for uid, entry in list(self._entries.items()):
+                if not self._lifetime_valid(entry):
+                    del self._entries[uid]
+                    dropped.append(uid)
+                    changed = True
+        return dropped
+
+    # ------------------------------------------------------------------ Algorithm 1
+    def compute_schedule(self, host_name: str, cached_uids: Set[str],
+                         reservoir: bool = True,
+                         max_new: Optional[int] = None) -> SyncResult:
+        """Pure scheduling decision (no simulated cost): Algorithm 1.
+
+        ``reservoir`` distinguishes the paper's two volatile roles (§3.1):
+        reservoir hosts offer their storage and are targets for replica
+        placement; client hosts only receive data through affinity to data
+        they already hold (e.g. results flowing to the master's Collector).
+
+        ``max_new`` overrides ``MaxDataSchedule`` for this synchronisation
+        (hosts with plenty of bandwidth — typically the master collecting
+        results — may ask for a larger batch).
+        """
+        limit = self.max_data_schedule if max_new is None else int(max_new)
+        theta = self._entries
+        psi: Dict[str, ScheduledEntry] = {}
+
+        # -- Step 1: keep cached data that is still managed and still alive.
+        for uid in cached_uids:
+            entry = theta.get(uid)
+            if entry is None:
+                continue
+            if not self._lifetime_valid(entry):
+                continue
+            psi[uid] = entry
+            entry.owners.add(host_name)
+
+        # -- Step 2: assign new data.
+        new_uids: List[str] = []
+        for uid, entry in theta.items():
+            if uid in psi or uid in cached_uids:
+                continue
+            if not self._lifetime_valid(entry):
+                continue
+            assigned = False
+
+            # Affinity resolution: schedule wherever the referenced data lives.
+            if entry.attribute.has_affinity:
+                references = self._resolve_all(entry.attribute.affinity)
+                if any(ref.uid in psi or ref.uid in cached_uids
+                       for ref in references):
+                    assigned = True
+
+            # Replica placement (reservoir hosts only).
+            if not assigned and reservoir:
+                attr = entry.attribute
+                if attr.replicate_to_all or len(entry.owners) < attr.replica:
+                    # Affinity-constrained data is *only* placed by affinity.
+                    if not attr.has_affinity:
+                        assigned = True
+
+            if assigned:
+                psi[uid] = entry
+                entry.owners.add(host_name)
+                new_uids.append(uid)
+                self.assignments += 1
+            if len(new_uids) >= limit:
+                break
+
+        to_delete = sorted(uid for uid in cached_uids if uid not in psi)
+        assigned_pairs = [(e.data, e.attribute) for e in psi.values()]
+        self._host_caches[host_name] = set(psi.keys())
+        return SyncResult(host_name=host_name, assigned=assigned_pairs,
+                          to_delete=to_delete, to_download=sorted(new_uids),
+                          time=self.env.now)
+
+    def synchronize(self, host_name: str, cached_uids: Set[str],
+                    reservoir: bool = True, max_new: Optional[int] = None):
+        """Generator: the remote synchronisation call (heartbeat + Algorithm 1).
+
+        This is what volatile hosts invoke periodically; it counts as a
+        heartbeat for the failure detector and pays one database statement.
+        """
+        self.sync_count += 1
+        if self.failure_detector is not None:
+            self.failure_detector.heartbeat(host_name)
+        if self.database is not None:
+            result = yield from self.database.execute(
+                lambda: self.compute_schedule(host_name, set(cached_uids),
+                                              reservoir=reservoir,
+                                              max_new=max_new),
+                statements=self.sync_cost_statements,
+            )
+        else:
+            yield self.env.timeout(0.0)
+            result = self.compute_schedule(host_name, set(cached_uids),
+                                           reservoir=reservoir, max_new=max_new)
+        return result
+
+    def heartbeat(self, host_name: str) -> bool:
+        """Record a liveness heartbeat from a volatile host.
+
+        Reservoir hosts send these periodically, independently of the (possibly
+        long-running) synchronisation/download cycle, so that a host busy
+        downloading a large file is not declared dead (§3.1).
+        """
+        if self.failure_detector is not None:
+            self.failure_detector.heartbeat(host_name)
+            return True
+        return False
+
+    def confirm_ownership(self, host_name: str, data_uid: str) -> None:
+        """Record that *host_name* finished downloading *data_uid*."""
+        entry = self._entries.get(data_uid)
+        if entry is not None:
+            entry.owners.add(host_name)
+
+    def release_ownership(self, host_name: str, data_uid: str) -> None:
+        entry = self._entries.get(data_uid)
+        if entry is not None:
+            entry.owners.discard(host_name)
+            entry.pinned_on.discard(host_name)
+
+    # ------------------------------------------------------------------ fault tolerance
+    def _on_host_failure(self, host_name: str) -> None:
+        """Failure-detector callback: repair owner lists of fault-tolerant data."""
+        self._host_caches.pop(host_name, None)
+        for entry in self._entries.values():
+            if host_name not in entry.owners:
+                continue
+            if entry.attribute.fault_tolerance:
+                # Remove the faulty owner so the datum is re-scheduled elsewhere.
+                entry.owners.discard(host_name)
+                entry.pinned_on.discard(host_name)
+                self.repairs_triggered += 1
+            # Non-fault-tolerant data: the replica stays registered (it will be
+            # available again if the host comes back), as prescribed in §3.2.
+
+    def missing_replicas(self) -> Dict[str, int]:
+        """uids whose live owner count is below the requested replica level."""
+        missing: Dict[str, int] = {}
+        for uid, entry in self._entries.items():
+            attr = entry.attribute
+            if attr.replicate_to_all:
+                continue
+            deficit = attr.replica - len(entry.owners)
+            if deficit > 0:
+                missing[uid] = deficit
+        return missing

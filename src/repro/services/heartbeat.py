@@ -1,0 +1,127 @@
+"""Timeout-based failure detector for volatile hosts (paper §3.1, §4.4).
+
+"Failures of volatile nodes is detected by the mean of timeout on periodical
+heartbeats" — in the Figure 4 experiment the timeout is three heartbeat
+periods (heartbeat 1 s, so a crash is noticed after ~3 s).
+
+The detector is passive: services record heartbeats (every reservoir
+synchronisation counts as one), and a periodic sweep declares hosts whose
+last heartbeat is older than ``timeout_multiplier x period`` dead, invoking
+the registered callbacks (the Data Scheduler uses this to trigger replica
+repair for fault-tolerant data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.kernel import Environment
+
+__all__ = ["FailureDetector", "HostLiveness"]
+
+
+@dataclass
+class HostLiveness:
+    """What the detector knows about one host."""
+
+    host_name: str
+    last_heartbeat: float
+    alive: bool = True
+    declared_dead_at: Optional[float] = None
+
+
+class FailureDetector:
+    """Heartbeat bookkeeping + periodic timeout sweep."""
+
+    def __init__(self, env: Environment, heartbeat_period_s: float = 1.0,
+                 timeout_multiplier: float = 3.0, sweep_period_s: Optional[float] = None):
+        if heartbeat_period_s <= 0:
+            raise ValueError("heartbeat_period_s must be positive")
+        if timeout_multiplier <= 0:
+            raise ValueError("timeout_multiplier must be positive")
+        self.env = env
+        self.heartbeat_period_s = float(heartbeat_period_s)
+        self.timeout_multiplier = float(timeout_multiplier)
+        self.sweep_period_s = (
+            float(sweep_period_s) if sweep_period_s is not None
+            else self.heartbeat_period_s / 2.0
+        )
+        self._hosts: Dict[str, HostLiveness] = {}
+        self._on_failure: List[Callable[[str], None]] = []
+        self._on_recovery: List[Callable[[str], None]] = []
+        self._running = False
+
+    # -- configuration ---------------------------------------------------------
+    @property
+    def timeout_s(self) -> float:
+        return self.heartbeat_period_s * self.timeout_multiplier
+
+    def on_failure(self, callback: Callable[[str], None]) -> None:
+        self._on_failure.append(callback)
+
+    def on_recovery(self, callback: Callable[[str], None]) -> None:
+        self._on_recovery.append(callback)
+
+    # -- heartbeats ---------------------------------------------------------------
+    def heartbeat(self, host_name: str) -> None:
+        """Record a heartbeat (any message from the host counts)."""
+        entry = self._hosts.get(host_name)
+        now = self.env.now
+        if entry is None:
+            self._hosts[host_name] = HostLiveness(host_name, now)
+            return
+        entry.last_heartbeat = now
+        if not entry.alive:
+            entry.alive = True
+            entry.declared_dead_at = None
+            for callback in list(self._on_recovery):
+                callback(host_name)
+
+    def forget(self, host_name: str) -> None:
+        """Stop tracking a host (graceful departure)."""
+        self._hosts.pop(host_name, None)
+
+    # -- queries ----------------------------------------------------------------------
+    def is_alive(self, host_name: str) -> bool:
+        entry = self._hosts.get(host_name)
+        return bool(entry and entry.alive)
+
+    def known_hosts(self) -> List[str]:
+        return sorted(self._hosts)
+
+    def alive_hosts(self) -> List[str]:
+        return sorted(name for name, e in self._hosts.items() if e.alive)
+
+    def liveness(self, host_name: str) -> Optional[HostLiveness]:
+        return self._hosts.get(host_name)
+
+    # -- the sweep -----------------------------------------------------------------------
+    def sweep(self) -> List[str]:
+        """Declare dead every host whose heartbeat timed out; return their names."""
+        now = self.env.now
+        newly_dead = []
+        for entry in self._hosts.values():
+            if entry.alive and now - entry.last_heartbeat > self.timeout_s:
+                entry.alive = False
+                entry.declared_dead_at = now
+                newly_dead.append(entry.host_name)
+        for name in newly_dead:
+            for callback in list(self._on_failure):
+                callback(name)
+        return newly_dead
+
+    def start(self) -> None:
+        """Start the periodic sweep process (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._sweep_loop())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sweep_loop(self):
+        while self._running:
+            yield self.env.timeout(self.sweep_period_s)
+            self.sweep()

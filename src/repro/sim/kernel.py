@@ -1,0 +1,414 @@
+"""Core discrete-event simulation kernel.
+
+The kernel is deliberately small and dependency-free.  It provides:
+
+* :class:`Environment` — virtual clock + event queue + ``run`` loop.
+* :class:`Event` — a one-shot waitable with a value and success flag.
+* :class:`Timeout` — an event that fires after a simulated delay.
+* :class:`Process` — wraps a generator; the generator yields events and is
+  resumed with the event's value (or has the event's exception thrown in).
+* :class:`AnyOf` / :class:`AllOf` — condition events over several events.
+* :class:`Interrupt` — exception delivered by :meth:`Process.interrupt`.
+
+Determinism: events scheduled for the same simulated time are processed in
+FIFO order of scheduling (a monotonically increasing sequence number breaks
+ties), so a simulation with a fixed RNG seed is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel usage errors (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Delivered inside a process when another process interrupts it.
+
+    The optional *cause* is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Sentinel priority classes: normal events before process-bootstrap events is
+#: not needed; a single FIFO ordering per timestamp is sufficient and simpler.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*.  ``succeed(value)`` or ``fail(exception)``
+    triggers it; the environment then schedules its callbacks.  Waiting on an
+    already-processed event is allowed and resumes the waiter immediately
+    (on the next scheduling step).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: True once the exception carried by a failed event has been
+        #: delivered to at least one waiter (or defused explicitly).
+        self.defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if the event succeeded, False if it failed, None if pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will have it raised."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- misc --------------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run on next scheduling step via a proxy event.
+            proxy = Event(self.env)
+            proxy.callbacks.append(callback)
+            proxy._ok = self._ok
+            proxy._value = self._value
+            self.env._schedule(proxy)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.processed:
+            state = "processed"
+        elif self.triggered:
+            state = "triggered"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """Event that fires after ``delay`` units of simulated time."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a process on the next step."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """Wraps a generator so it can be driven by the event loop.
+
+    A process is itself an event: it triggers with the generator's return
+    value when the generator finishes (or fails with the escaping exception),
+    so processes can wait on each other.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait point."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self._target is None:
+            raise SimulationError("cannot interrupt a process before it starts")
+        # Deliver asynchronously via a failing proxy event so ordering stays
+        # consistent with the rest of the event queue.
+        proxy = Event(self.env)
+        proxy._ok = False
+        proxy._value = Interrupt(cause)
+        proxy.defused = True
+        proxy.callbacks.append(self._resume)
+        # Detach from the old target so a later trigger does not resume us twice.
+        if self._target.callbacks is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self.env._schedule(proxy, priority=0)
+
+    # -- driving ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            while True:
+                if event._ok:
+                    try:
+                        next_target = self._generator.send(event._value)
+                    except StopIteration as stop:
+                        self._terminate(True, stop.value)
+                        return
+                    except BaseException as exc:
+                        self._terminate(False, exc)
+                        return
+                else:
+                    event.defused = True
+                    try:
+                        next_target = self._generator.throw(event._value)
+                    except StopIteration as stop:
+                        self._terminate(True, stop.value)
+                        return
+                    except BaseException as exc:
+                        # Either the process let the failure escape, or it
+                        # raised a different exception while handling it;
+                        # both terminate the process as failed.
+                        self._terminate(False, exc)
+                        return
+                if not isinstance(next_target, Event):
+                    raise SimulationError(
+                        f"process yielded a non-event: {next_target!r}"
+                    )
+                if next_target.processed:
+                    # Already-resolved event: loop immediately with its value.
+                    event = next_target
+                    continue
+                next_target.add_callback(self._resume)
+                self._target = next_target
+                return
+        finally:
+            self.env._active_process = None
+
+    def _terminate(self, ok: bool, value: Any) -> None:
+        self._target = None
+        if ok:
+            self.succeed(value)
+        else:
+            if isinstance(value, (SystemExit, KeyboardInterrupt)):  # pragma: no cover
+                raise value
+            self.fail(value)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf: waits for a set of events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev.triggered and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one of the events triggers (or any fails)."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers once all events have triggered (fails fast on any failure)."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation environment: virtual clock, queue and run loop."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention across the library)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._counter), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event; raise if the queue is empty."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        when, _prio, _count, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+        if event._ok is False and not event.defused:
+            # An untended failure (no one waited): surface it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run until that
+        simulated time), or an :class:`Event` (run until it is processed, and
+        return its value / raise its exception).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time!r} is in the past (now={self._now!r})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_time is not None and self.peek() > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run() terminated before the stop event was triggered"
+                )
+            if stop_event._ok:
+                return stop_event._value
+            stop_event.defused = True
+            raise stop_event._value
+        if stop_time is not None and self._now < stop_time and not self._queue:
+            self._now = stop_time
+        return None

@@ -1,0 +1,230 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three classic primitives are provided:
+
+* :class:`Resource` — a counted resource with FIFO queueing (used e.g. by the
+  database connection pool and FTP server connection limits).
+* :class:`Container` — a continuous quantity that can be ``put`` and ``get``
+  (used for storage capacity accounting on reservoir hosts).
+* :class:`Store` — a FIFO object store (used for message queues between
+  simulated services).
+
+All requests are events; processes ``yield`` them.  ``Resource`` requests
+support use as context managers inside a process::
+
+    with resource.request() as req:
+        yield req
+        ... critical section ...
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.kernel import Environment, Event, SimulationError
+
+__all__ = ["Container", "Resource", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger_requests()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> bool:
+        self.resource.release(self)
+        return False
+
+
+class Resource:
+    """A resource with ``capacity`` slots and FIFO admission."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._queue: Deque[Request] = deque()
+        self._users: List[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted slot (no-op if never granted)."""
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._queue:
+            # Cancelled before being granted.
+            self._queue.remove(request)
+        self._trigger_requests()
+
+    def _trigger_requests(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            request = self._queue.popleft()
+            self._users.append(request)
+            request.succeed(self)
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_queue.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_queue.append(self)
+        container._trigger()
+
+
+class Container:
+    """A continuous-quantity container with an optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if init < 0 or init > capacity:
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._put_queue: Deque[ContainerPut] = deque()
+        self._get_queue: Deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue:
+                put = self._put_queue[0]
+                if self._level + put.amount <= self.capacity:
+                    self._put_queue.popleft()
+                    self._level += put.amount
+                    put.succeed()
+                    progressed = True
+            if self._get_queue:
+                get = self._get_queue[0]
+                if self._level >= get.amount:
+                    self._get_queue.popleft()
+                    self._level -= get.amount
+                    get.succeed(get.amount)
+                    progressed = True
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """A FIFO store of arbitrary items with optional capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: Deque[StorePut] = deque()
+        self._get_queue: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            if self._get_queue and self.items:
+                get = self._get_queue.popleft()
+                get.succeed(self.items.pop(0))
+                progressed = True
+
+    def cancel_get(self, get: StoreGet) -> None:
+        """Remove a pending get (used when a waiting consumer is killed)."""
+        if get in self._get_queue:
+            self._get_queue.remove(get)
+
+
+class PriorityStore(Store):
+    """A store that always yields the smallest item first.
+
+    Items must be orderable (e.g. tuples whose first element is a priority).
+    """
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                self.items.sort()
+                put.succeed()
+                progressed = True
+            if self._get_queue and self.items:
+                get = self._get_queue.popleft()
+                get.succeed(self.items.pop(0))
+                progressed = True
+
+
+__all__.append("PriorityStore")

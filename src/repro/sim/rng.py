@@ -1,0 +1,80 @@
+"""Deterministic random-number utilities for the simulation substrate.
+
+Every stochastic component (network jitter, host churn, execution-time
+variation, BitTorrent peer selection) draws from a stream created here, so a
+single seed reproduces a whole experiment.  Streams are named: two components
+asking for different names get independent generators derived from the master
+seed, which keeps experiments insensitive to the order in which components
+are constructed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["RandomStreams", "derive_seed"]
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 63-bit child seed from a master seed and a stream name."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & ((1 << 63) - 1)
+
+
+class RandomStreams:
+    """A registry of named, independent :class:`numpy.random.Generator` streams."""
+
+    def __init__(self, master_seed: int = 0):
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for *name*."""
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = np.random.default_rng(derive_seed(self.master_seed, name))
+            self._streams[name] = gen
+        return gen
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Create a child registry whose master seed derives from *name*."""
+        return RandomStreams(derive_seed(self.master_seed, name))
+
+    def exponential(self, name: str, mean: float) -> float:
+        """Draw one exponential variate with the given mean."""
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        return float(self.stream(name).exponential(mean))
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        return float(self.stream(name).uniform(low, high))
+
+    def normal_clipped(self, name: str, mean: float, std: float,
+                       minimum: float = 0.0,
+                       maximum: Optional[float] = None) -> float:
+        """Draw a normal variate clipped to ``[minimum, maximum]``."""
+        value = float(self.stream(name).normal(mean, std))
+        if maximum is not None:
+            value = min(value, maximum)
+        return max(minimum, value)
+
+    def weibull(self, name: str, shape: float, scale: float) -> float:
+        """Draw a Weibull variate (used for host availability sessions)."""
+        if shape <= 0 or scale <= 0:
+            raise ValueError("shape and scale must be positive")
+        return float(scale * self.stream(name).weibull(shape))
+
+    def choice(self, name: str, n: int) -> int:
+        """Uniform integer in ``[0, n)``."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return int(self.stream(name).integers(0, n))
+
+    def shuffle(self, name: str, items: list) -> list:
+        """Return a shuffled copy of *items*."""
+        out = list(items)
+        self.stream(name).shuffle(out)
+        return out

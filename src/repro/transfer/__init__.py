@@ -1,0 +1,53 @@
+"""Out-of-band transfer protocols.
+
+BitDew moves file content *out of band*: the runtime only issues and
+supervises transfers, the bytes move through a pluggable protocol (§3.4.2,
+Figure 2 of the paper).  This subpackage reproduces that plug-in framework
+and three concrete protocols:
+
+* :mod:`repro.transfer.oob` — the ``OOBTransfer`` interface (connect,
+  disconnect, probe, blocking/non-blocking send and receive), the
+  ``DaemonConnector`` helper for daemon-style protocols, transfer handles
+  and endpoints.
+* :mod:`repro.transfer.ftp` — client/server FTP: the file is pulled from a
+  central server; the server's uplink is the bottleneck when many nodes
+  download at once.
+* :mod:`repro.transfer.http` — HTTP GET: like FTP but with a cheaper
+  connection setup; preferred for small files (the paper's Sequence and
+  Result files).
+* :mod:`repro.transfer.bittorrent` — a collaborative swarm: a piece-level
+  simulation for small swarms and a calibrated fluid model for large ones
+  (both reproduce the near-flat scaling of Figures 3a and 5).
+* :mod:`repro.transfer.registry` — the protocol registry through which users
+  plug in protocols by name (``"ftp"``, ``"http"``, ``"bittorrent"``).
+"""
+
+from repro.transfer.oob import (
+    BlockingOOBTransfer,
+    DaemonConnector,
+    NonBlockingOOBTransfer,
+    OOBTransfer,
+    TransferEndpoint,
+    TransferHandle,
+    TransferState,
+)
+from repro.transfer.ftp import FTPProtocol
+from repro.transfer.http import HTTPProtocol
+from repro.transfer.bittorrent import BitTorrentProtocol, SwarmStats
+from repro.transfer.registry import ProtocolRegistry, default_registry
+
+__all__ = [
+    "BitTorrentProtocol",
+    "BlockingOOBTransfer",
+    "DaemonConnector",
+    "FTPProtocol",
+    "HTTPProtocol",
+    "NonBlockingOOBTransfer",
+    "OOBTransfer",
+    "ProtocolRegistry",
+    "SwarmStats",
+    "TransferEndpoint",
+    "TransferHandle",
+    "TransferState",
+    "default_registry",
+]

@@ -1,0 +1,99 @@
+"""Client/server FTP transfer protocol.
+
+The paper uses ProFTPD as file server and the Apache commons-net client.
+FTP is a point-to-point pull: the receiver opens a control connection to the
+server (login + passive-mode negotiation), then the file flows over a data
+connection.  When many nodes download the same file concurrently the
+server's uplink is shared among them, which is exactly the linear-in-*n*
+scaling that Figures 3a and 5 show for FTP.
+
+Parameters:
+
+``control_setup_s``
+    Cost of opening the control connection and authenticating (a few RTTs).
+``per_file_overhead_s``
+    Cost of the RETR/226 exchange around the data connection.
+``max_server_connections``
+    ProFTPD-style cap on simultaneous data connections; extra clients queue.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+from repro.net.flows import Network, TransferFailed
+from repro.transfer.oob import (
+    BlockingOOBTransfer,
+    TransferError,
+    TransferHandle,
+)
+
+__all__ = ["FTPProtocol"]
+
+
+class FTPProtocol(BlockingOOBTransfer):
+    """FTP: point-to-point client/server pull transfers."""
+
+    name = "ftp"
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        control_setup_s: float = 0.05,
+        per_file_overhead_s: float = 0.02,
+        max_server_connections: Optional[int] = None,
+    ):
+        super().__init__(env, network)
+        self.control_setup_s = float(control_setup_s)
+        self.per_file_overhead_s = float(per_file_overhead_s)
+        self._server_slots: Optional[Resource] = None
+        if max_server_connections is not None:
+            if max_server_connections <= 0:
+                raise ValueError("max_server_connections must be positive")
+            self._server_slots = Resource(env, capacity=max_server_connections)
+
+    # -- OOBTransfer interface -------------------------------------------------
+    def connect(self, handle: TransferHandle):
+        """Open the control connection: a couple of RTTs plus authentication."""
+        latency = self.network.latency_between(handle.source.host,
+                                               handle.destination.host)
+        yield self.env.timeout(self.control_setup_s + 2.0 * latency)
+        return True
+
+    def disconnect(self, handle: TransferHandle):
+        latency = self.network.latency_between(handle.source.host,
+                                               handle.destination.host)
+        yield self.env.timeout(latency)
+        return True
+
+    def _run_transfer(self, handle: TransferHandle):
+        """RETR: stream the file from the source host to the destination host."""
+        if not handle.source.exists():
+            raise TransferError(
+                f"source file {handle.source.path!r} missing on "
+                f"{handle.source.host.name}"
+            )
+        slot = None
+        if self._server_slots is not None:
+            slot = self._server_slots.request()
+            yield slot
+        try:
+            yield self.env.timeout(self.per_file_overhead_s)
+            flow = self.network.transfer(
+                handle.source.host, handle.destination.host,
+                handle.content.size_mb,
+                label=f"ftp:{handle.content.name}->{handle.destination.host.name}",
+            )
+            try:
+                yield flow.done
+            except TransferFailed as exc:
+                raise TransferError(str(exc)) from exc
+            handle.transferred_mb = handle.content.size_mb
+            handle.destination.write(handle.source.read())
+        finally:
+            if slot is not None:
+                self._server_slots.release(slot)
+        return handle

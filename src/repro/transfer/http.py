@@ -1,0 +1,81 @@
+"""HTTP transfer protocol.
+
+HTTP GET from a web server: functionally the same point-to-point pull as
+FTP but with a much lighter connection setup (a single request/response
+exchange, optional keep-alive), which makes it the protocol of choice for
+the small files of the BLAST application (Sequences and Results, §5).
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Environment
+from repro.net.flows import Network, TransferFailed
+from repro.transfer.oob import (
+    BlockingOOBTransfer,
+    TransferError,
+    TransferHandle,
+)
+
+__all__ = ["HTTPProtocol"]
+
+
+class HTTPProtocol(BlockingOOBTransfer):
+    """HTTP: light-weight point-to-point pull transfers."""
+
+    name = "http"
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        request_overhead_s: float = 0.005,
+        keep_alive: bool = True,
+    ):
+        super().__init__(env, network)
+        self.request_overhead_s = float(request_overhead_s)
+        self.keep_alive = keep_alive
+        #: (client uid, server uid) pairs with an established keep-alive connection
+        self._connections: set = set()
+
+    def _conn_key(self, handle: TransferHandle):
+        return (handle.destination.host.uid, handle.source.host.uid)
+
+    # -- OOBTransfer interface ---------------------------------------------------
+    def connect(self, handle: TransferHandle):
+        latency = self.network.latency_between(handle.source.host,
+                                               handle.destination.host)
+        key = self._conn_key(handle)
+        if self.keep_alive and key in self._connections:
+            return True
+        # TCP handshake: one round trip.
+        yield self.env.timeout(2.0 * latency)
+        if self.keep_alive:
+            self._connections.add(key)
+        return True
+
+    def disconnect(self, handle: TransferHandle):
+        if not self.keep_alive:
+            self._connections.discard(self._conn_key(handle))
+        # Closing is asynchronous; no simulated cost.
+        return True
+        yield  # pragma: no cover - makes this a generator
+
+    def _run_transfer(self, handle: TransferHandle):
+        if not handle.source.exists():
+            raise TransferError(
+                f"source file {handle.source.path!r} missing on "
+                f"{handle.source.host.name}"
+            )
+        yield self.env.timeout(self.request_overhead_s)
+        flow = self.network.transfer(
+            handle.source.host, handle.destination.host,
+            handle.content.size_mb,
+            label=f"http:{handle.content.name}->{handle.destination.host.name}",
+        )
+        try:
+            yield flow.done
+        except TransferFailed as exc:
+            raise TransferError(str(exc)) from exc
+        handle.transferred_mb = handle.content.size_mb
+        handle.destination.write(handle.source.read())
+        return handle

@@ -1,0 +1,32 @@
+"""Workload and volatility generators used by the experiments.
+
+* :mod:`repro.workloads.generator` — file-size sweeps, parameter-sweep task
+  sets and the "filecule" grouped-file workloads that motivate BitDew (§2.2).
+* :mod:`repro.workloads.traces` — host availability / churn traces
+  (exponential and Weibull session models, plus the scripted
+  crash-one-start-one scenario of the Figure 4 fault-tolerance experiment).
+"""
+
+from repro.workloads.generator import (
+    FileSpec,
+    filecule_group,
+    parameter_sweep_tasks,
+    transfer_matrix,
+)
+from repro.workloads.traces import (
+    ChurnEvent,
+    ChurnScript,
+    availability_trace,
+    crash_replace_script,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnScript",
+    "FileSpec",
+    "availability_trace",
+    "crash_replace_script",
+    "filecule_group",
+    "parameter_sweep_tasks",
+    "transfer_matrix",
+]

@@ -1,0 +1,150 @@
+"""Host availability / churn traces.
+
+Two generators are provided:
+
+* :func:`availability_trace` — stochastic ON/OFF session traces per host
+  (exponential or Weibull session lengths), the standard way to model
+  desktop-grid volatility; used by the volatility stress tests.
+* :func:`crash_replace_script` — the scripted scenario of the paper's
+  Figure 4 fault-tolerance experiment: every ``interval_s`` seconds one host
+  currently owning the datum is killed and a fresh host joins.
+
+:class:`ChurnScript` can replay either kind of event list inside a
+simulation against a :class:`~repro.core.runtime.BitDewEnvironment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnScript",
+    "availability_trace",
+    "crash_replace_script",
+]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One availability transition of one host."""
+
+    time_s: float
+    host_name: str
+    action: str                    # "crash" | "join"
+
+    def __post_init__(self):
+        if self.action not in ("crash", "join"):
+            raise ValueError("action must be 'crash' or 'join'")
+        if self.time_s < 0:
+            raise ValueError("time_s must be non-negative")
+
+
+def availability_trace(
+    host_names: Sequence[str],
+    horizon_s: float,
+    mean_availability_s: float = 3600.0,
+    mean_unavailability_s: float = 600.0,
+    distribution: str = "exponential",
+    weibull_shape: float = 0.7,
+    rng: Optional[RandomStreams] = None,
+) -> List[ChurnEvent]:
+    """Per-host ON/OFF session traces up to *horizon_s* seconds.
+
+    Hosts start available; session lengths are drawn independently per host.
+    ``distribution`` is either ``"exponential"`` or ``"weibull"`` (the heavy
+    tail observed in real desktop-grid traces).
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    if distribution not in ("exponential", "weibull"):
+        raise ValueError("distribution must be 'exponential' or 'weibull'")
+    rng = rng if rng is not None else RandomStreams(17)
+
+    def draw(name: str, mean: float, index: int) -> float:
+        if distribution == "exponential":
+            return rng.exponential(f"{name}-{index}", mean)
+        scale = mean / 1.5   # rough mean correction for shape ~0.7
+        return max(1.0, rng.weibull(f"{name}-{index}", weibull_shape, scale))
+
+    events: List[ChurnEvent] = []
+    for host in host_names:
+        clock = 0.0
+        index = 0
+        available = True
+        while clock < horizon_s:
+            mean = mean_availability_s if available else mean_unavailability_s
+            clock += draw(f"session-{host}", mean, index)
+            index += 1
+            if clock >= horizon_s:
+                break
+            events.append(ChurnEvent(
+                time_s=clock, host_name=host,
+                action="crash" if available else "join"))
+            available = not available
+    events.sort(key=lambda e: (e.time_s, e.host_name))
+    return events
+
+
+def crash_replace_script(
+    initial_hosts: Sequence[str],
+    spare_hosts: Sequence[str],
+    interval_s: float = 20.0,
+    start_s: float = 20.0,
+) -> List[ChurnEvent]:
+    """The Figure 4 scenario: kill one current owner and start one new host
+    every *interval_s* seconds, for as many rounds as there are spare hosts."""
+    if interval_s <= 0:
+        raise ValueError("interval_s must be positive")
+    events: List[ChurnEvent] = []
+    time = start_s
+    victims = list(initial_hosts)
+    for index, spare in enumerate(spare_hosts):
+        if index >= len(victims):
+            break
+        events.append(ChurnEvent(time_s=time, host_name=victims[index],
+                                 action="crash"))
+        events.append(ChurnEvent(time_s=time, host_name=spare, action="join"))
+        time += interval_s
+    return events
+
+
+class ChurnScript:
+    """Replays churn events against a BitDew runtime inside the simulation."""
+
+    def __init__(self, runtime, events: Iterable[ChurnEvent]):
+        self.runtime = runtime
+        self.events = sorted(events, key=lambda e: (e.time_s, e.host_name))
+        self.applied: List[ChurnEvent] = []
+
+    def start(self) -> None:
+        """Spawn the replay process in the runtime's simulation environment."""
+        self.runtime.env.process(self._replay())
+
+    def _replay(self):
+        env: Environment = self.runtime.env
+        for event in self.events:
+            delay = event.time_s - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            self.apply(event)
+
+    def apply(self, event: ChurnEvent) -> None:
+        host = self.runtime.network.hosts.get(event.host_name)
+        if host is None:
+            raise KeyError(f"unknown host {event.host_name!r}")
+        if event.action == "crash":
+            self.runtime.crash_host(host)
+        else:
+            if host.online and event.host_name in self.runtime.agents \
+                    and self.runtime.agents[event.host_name].running:
+                pass  # already up
+            elif event.host_name in self.runtime.agents or not host.online:
+                self.runtime.restart_host(host)
+            else:
+                self.runtime.attach(host)
+        self.applied.append(event)

@@ -1,0 +1,189 @@
+"""Unit tests for Data, Locator, attributes and the attribute grammar."""
+
+import pytest
+
+from repro.core.attributes import (
+    Attribute,
+    AttributeError_,
+    DEFAULT_ATTRIBUTE,
+    REPLICATE_TO_ALL,
+    parse_attribute,
+)
+from repro.core.data import Data, DataFlag, DataStatus, Locator
+from repro.storage.filesystem import FileContent
+
+
+class TestData:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Data(name="")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Data(name="x", size_mb=-1)
+
+    def test_from_content_computes_metadata(self):
+        content = FileContent.from_seed("input.dat", 12.5)
+        data = Data.from_content(content)
+        assert data.name == "input.dat"
+        assert data.size_mb == pytest.approx(12.5)
+        assert data.checksum == content.checksum
+        assert data.matches_content(content)
+        assert data.has_content
+
+    def test_from_content_with_flags_and_name(self):
+        content = FileContent.from_seed("app.bin", 4.45)
+        data = Data.from_content(content, flags=DataFlag.EXECUTABLE | DataFlag.COMPRESSED,
+                                 name="application")
+        assert data.name == "application"
+        assert data.is_executable
+        assert data.is_compressed
+
+    def test_unique_uids(self):
+        uids = {Data(name=f"d{i}").uid for i in range(50)}
+        assert len(uids) == 50
+
+    def test_paper_style_accessors(self):
+        data = Data(name="collector")
+        assert data.getname() == "collector"
+        assert data.getuid() == data.uid
+
+    def test_default_status_and_with_status(self):
+        data = Data(name="x")
+        assert data.status is DataStatus.CREATED
+        updated = data.with_status(DataStatus.AVAILABLE)
+        assert updated.status is DataStatus.AVAILABLE
+        assert data.status is DataStatus.CREATED
+
+    def test_hashable_by_uid(self):
+        data = Data(name="x")
+        assert len({data, data}) == 1
+
+
+class TestLocator:
+    def test_describe(self):
+        locator = Locator(data_uid="u1", host_name="server", reference="path/x",
+                          protocol="ftp")
+        assert locator.describe() == "ftp://server/path/x"
+
+    def test_defaults(self):
+        locator = Locator(data_uid="u1", host_name="h", reference="r")
+        assert locator.protocol == "http"
+        assert not locator.permanent
+        assert locator.uid
+
+
+class TestAttributeObject:
+    def test_defaults(self):
+        attr = Attribute()
+        assert attr.replica == 1
+        assert not attr.fault_tolerance
+        assert attr.protocol == "http"
+        assert not attr.has_affinity
+        assert not attr.has_relative_lifetime
+        assert not attr.replicate_to_all
+
+    def test_replicate_to_all(self):
+        attr = Attribute(replica=REPLICATE_TO_ALL)
+        assert attr.replicate_to_all
+
+    def test_invalid_replica(self):
+        with pytest.raises(AttributeError_):
+            Attribute(replica=0)
+        with pytest.raises(AttributeError_):
+            Attribute(replica=-2)
+
+    def test_invalid_lifetime_and_protocol(self):
+        with pytest.raises(AttributeError_):
+            Attribute(absolute_lifetime=-5)
+        with pytest.raises(AttributeError_):
+            Attribute(protocol="")
+
+    def test_describe_round_trips_through_parser(self):
+        attr = Attribute(name="genebase", replica=3, fault_tolerance=True,
+                         absolute_lifetime=3600, affinity="Sequence",
+                         protocol="bittorrent")
+        parsed = parse_attribute(attr.describe())
+        assert parsed.name == attr.name
+        assert parsed.replica == attr.replica
+        assert parsed.fault_tolerance == attr.fault_tolerance
+        assert parsed.absolute_lifetime == attr.absolute_lifetime
+        assert parsed.affinity == attr.affinity
+        assert parsed.protocol == attr.protocol
+
+    def test_with_name_gets_fresh_uid(self):
+        attr = Attribute(name="a")
+        renamed = attr.with_name("b")
+        assert renamed.name == "b"
+        assert renamed.uid != attr.uid
+
+    def test_default_attribute_singleton_values(self):
+        assert DEFAULT_ATTRIBUTE.replica == 1
+        assert DEFAULT_ATTRIBUTE.protocol == "http"
+
+
+class TestAttributeGrammar:
+    def test_listing1_updater_attribute(self):
+        attr = parse_attribute(
+            "attr update = { replicat =-1, oob= bittorrent, abstime=43200}")
+        assert attr.name == "update"
+        assert attr.replica == -1
+        assert attr.protocol == "bittorrent"
+        assert attr.absolute_lifetime == pytest.approx(43200)
+
+    def test_listing3_genebase_attribute(self):
+        attr = parse_attribute(
+            'attribute Genebase = { protocol = "BitTorrent", lifetime = Collector, '
+            'affinity = Sequence }')
+        assert attr.name == "Genebase"
+        assert attr.protocol == "bittorrent"
+        assert attr.relative_lifetime == "Collector"
+        assert attr.affinity == "Sequence"
+
+    def test_listing3_sequence_attribute(self):
+        attr = parse_attribute(
+            'attr Sequence = { faulttolerance = true, protocol = "http", '
+            'lifetime = Collector, replication = 2 }')
+        assert attr.fault_tolerance is True
+        assert attr.replica == 2
+        assert attr.protocol == "http"
+
+    def test_affinity_host_attribute(self):
+        attr = parse_attribute("attr host = { affinity = abc-123 }")
+        assert attr.affinity == "abc-123"
+
+    def test_key_aliases(self):
+        for alias in ("replica", "replicat", "replication"):
+            assert parse_attribute(f"attr a = {{{alias} = 4}}").replica == 4
+        for alias in ("oob", "protocol"):
+            assert parse_attribute(f"attr a = {{{alias} = ftp}}").protocol == "ftp"
+        for alias in ("ft", "fault_tolerance", "faulttolerance"):
+            assert parse_attribute(f"attr a = {{{alias} = true}}").fault_tolerance
+
+    def test_boolean_spellings(self):
+        assert parse_attribute("attr a = {ft = yes}").fault_tolerance
+        assert not parse_attribute("attr a = {ft = off}").fault_tolerance
+        with pytest.raises(AttributeError_):
+            parse_attribute("attr a = {ft = maybe}")
+
+    def test_trailing_comma_and_whitespace_tolerated(self):
+        attr = parse_attribute("  attr  x = {  replica = 2 , }  ")
+        assert attr.replica == 2
+
+    def test_malformed_definitions_rejected(self):
+        for bad in (
+            "",
+            "update = {replica = 1}",
+            "attr update replica = 1",
+            "attr update = {replica}",
+            "attr update = {= 1}",
+            "attr update = {unknownkey = 1}",
+            "attr update = {replica = abc}",
+            "attr update = {abstime = soon}",
+        ):
+            with pytest.raises(AttributeError_):
+                parse_attribute(bad)
+
+    def test_quoted_values_stripped(self):
+        attr = parse_attribute("attr a = {oob = 'FTP'}")
+        assert attr.protocol == "ftp"

@@ -1,0 +1,99 @@
+"""Unit tests for data life-cycle events and the event bus."""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.core.data import Data
+from repro.core.events import (
+    ActiveDataEventHandler,
+    DataEventType,
+    EventBus,
+)
+
+
+class Recorder(ActiveDataEventHandler):
+    def __init__(self):
+        self.calls = []
+
+    def on_data_create_event(self, data, attribute):
+        self.calls.append(("create", data.name, attribute.name))
+
+    def on_data_copy_event(self, data, attribute):
+        self.calls.append(("copy", data.name, attribute.name))
+
+    def on_data_delete_event(self, data, attribute):
+        self.calls.append(("delete", data.name, attribute.name))
+
+
+class CamelCaseRecorder(ActiveDataEventHandler):
+    """Uses the paper-style onDataCopyEvent override."""
+
+    def __init__(self):
+        self.copied = []
+
+    def onDataCopyEvent(self, data, attribute):  # noqa: N802
+        self.copied.append(data.name)
+
+
+class TestEventBus:
+    def test_dispatch_reaches_all_handlers(self):
+        bus = EventBus("host1")
+        a, b = Recorder(), Recorder()
+        bus.add_handler(a)
+        bus.add_handler(b)
+        data = Data(name="d")
+        attr = Attribute(name="attr")
+        bus.dispatch(DataEventType.COPY, data, attr, time=1.0)
+        assert a.calls == [("copy", "d", "attr")]
+        assert b.calls == [("copy", "d", "attr")]
+        assert bus.handler_count == 2
+
+    def test_all_three_event_types(self):
+        bus = EventBus("host1")
+        recorder = Recorder()
+        bus.add_handler(recorder)
+        data = Data(name="d")
+        attr = Attribute(name="a")
+        for event_type in (DataEventType.CREATE, DataEventType.COPY,
+                           DataEventType.DELETE):
+            bus.dispatch(event_type, data, attr, time=0.0)
+        assert [c[0] for c in recorder.calls] == ["create", "copy", "delete"]
+
+    def test_camelcase_override_still_called(self):
+        bus = EventBus("host1")
+        recorder = CamelCaseRecorder()
+        bus.add_handler(recorder)
+        bus.dispatch(DataEventType.COPY, Data(name="x"), Attribute(), 0.0)
+        assert recorder.copied == ["x"]
+
+    def test_remove_handler(self):
+        bus = EventBus("host1")
+        recorder = Recorder()
+        bus.add_handler(recorder)
+        bus.remove_handler(recorder)
+        bus.remove_handler(recorder)  # idempotent
+        bus.dispatch(DataEventType.COPY, Data(name="x"), Attribute(), 0.0)
+        assert recorder.calls == []
+
+    def test_handler_type_enforced(self):
+        bus = EventBus("host1")
+        with pytest.raises(TypeError):
+            bus.add_handler(lambda data, attr: None)
+
+    def test_history_and_filtering(self):
+        bus = EventBus("host1")
+        data = Data(name="d")
+        attr = Attribute()
+        bus.dispatch(DataEventType.CREATE, data, attr, time=1.0)
+        bus.dispatch(DataEventType.COPY, data, attr, time=2.0)
+        bus.dispatch(DataEventType.COPY, data, attr, time=3.0)
+        assert len(bus.history) == 3
+        copies = bus.events_of(DataEventType.COPY)
+        assert [e.time for e in copies] == [2.0, 3.0]
+        assert copies[0].host_name == "host1"
+
+    def test_base_handler_methods_are_noops(self):
+        handler = ActiveDataEventHandler()
+        handler.onDataCreateEvent(Data(name="x"), Attribute())
+        handler.onDataCopyEvent(Data(name="x"), Attribute())
+        handler.onDataDeleteEvent(Data(name="x"), Attribute())

@@ -1,0 +1,188 @@
+"""Unit tests for the Chord ring and the Distributed Data Catalog."""
+
+import pytest
+
+from repro.dht.chord import ChordRing, chord_hash
+from repro.dht.ddc import DistributedDataCatalog
+
+
+def build_ring(n=8, replication=2):
+    ring = ChordRing(replication=replication)
+    for i in range(n):
+        ring.join(f"node{i:02d}")
+    return ring
+
+
+class TestChordHash:
+    def test_deterministic(self):
+        assert chord_hash("abc") == chord_hash("abc")
+
+    def test_within_ring(self):
+        for i in range(100):
+            assert 0 <= chord_hash(f"key{i}", bits=16) < (1 << 16)
+
+
+class TestRingMembership:
+    def test_join_and_len(self):
+        ring = build_ring(5)
+        assert len(ring) == 5
+        assert len(ring.nodes) == 5
+
+    def test_double_join_rejected(self):
+        ring = build_ring(3)
+        with pytest.raises(ValueError):
+            ring.join("node00")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ChordRing(bits=4)
+        with pytest.raises(ValueError):
+            ChordRing(replication=0)
+
+    def test_nodes_sorted_by_id(self):
+        ring = build_ring(10)
+        ids = [n.node_id for n in ring.nodes]
+        assert ids == sorted(ids)
+
+    def test_ring_structure_invariants(self):
+        ring = build_ring(10)
+        nodes = ring.nodes
+        for i, node in enumerate(nodes):
+            assert node.predecessor is nodes[i - 1]
+            assert node.successors[0] is nodes[(i + 1) % len(nodes)]
+            assert len(node.fingers) == ring.bits
+
+    def test_leave_hands_over_keys(self):
+        ring = build_ring(6)
+        for i in range(50):
+            ring.put(f"key{i}", f"value{i}")
+        total_before = ring.total_keys()
+        ring.leave("node03")
+        assert len(ring) == 5
+        assert ring.total_keys() == total_before
+        for i in range(50):
+            values, _ = ring.get(f"key{i}")
+            assert f"value{i}" in values
+
+    def test_fail_keeps_keys_through_replication(self):
+        ring = build_ring(8, replication=3)
+        for i in range(60):
+            ring.put(f"key{i}", f"value{i}")
+        ring.fail("node05")
+        for i in range(60):
+            values, _ = ring.get(f"key{i}")
+            assert f"value{i}" in values, f"key{i} lost after node failure"
+
+    def test_fail_unknown_node_is_noop(self):
+        ring = build_ring(3)
+        ring.fail("nonexistent")
+        assert len(ring) == 3
+
+
+class TestLookupAndStorage:
+    def test_lookup_reaches_responsible_node(self):
+        ring = build_ring(16)
+        for i in range(100):
+            result = ring.lookup(f"key{i}")
+            expected = ring.successor_of(chord_hash(f"key{i}", ring.bits))
+            assert result.node is expected
+
+    def test_lookup_hop_count_reasonable(self):
+        ring = build_ring(32)
+        max_hops = max(ring.lookup(f"key{i}").hop_count for i in range(200))
+        # Chord guarantees O(log n); allow generous slack on a 32-node ring.
+        assert max_hops <= 12
+
+    def test_lookup_from_specific_start(self):
+        ring = build_ring(16)
+        start = ring.get_node("node07")
+        result = ring.lookup("some-key", start=start)
+        assert result.node is ring.successor_of(chord_hash("some-key", ring.bits))
+
+    def test_put_get_delete(self):
+        ring = build_ring(8)
+        ring.put("shared", "a")
+        ring.put("shared", "b")
+        values, _ = ring.get("shared")
+        assert values == {"a", "b"}
+        ring.delete("shared", "a")
+        values, _ = ring.get("shared")
+        assert values == {"b"}
+        ring.delete("shared")
+        values, _ = ring.get("shared")
+        assert values == set()
+
+    def test_replication_factor_respected(self):
+        ring = build_ring(8, replication=3)
+        ring.put("replicated-key", "v")
+        holders = [n for n in ring.nodes if "replicated-key" in n.storage]
+        assert len(holders) >= 3
+
+    def test_empty_ring_lookup_raises(self):
+        ring = ChordRing()
+        with pytest.raises(RuntimeError):
+            ring.lookup("key")
+
+    def test_keys_distributed_across_nodes(self):
+        ring = build_ring(16, replication=1)
+        for i in range(400):
+            ring.put(f"key{i}", i)
+        loads = ring.load_distribution()
+        populated = [n for n, count in loads.items() if count > 0]
+        assert len(populated) >= 8  # consistent hashing spreads the keys
+
+
+class TestDistributedDataCatalog:
+    def test_publish_and_search(self, env, drive):
+        ddc = DistributedDataCatalog(env)
+        for i in range(10):
+            ddc.join(f"host{i}")
+        drive(env, ddc.publish("data-1", "hostA", origin="host0"))
+        drive(env, ddc.publish("data-1", "hostB", origin="host3"))
+        owners = drive(env, ddc.search("data-1", origin="host5"))
+        assert owners == {"hostA", "hostB"}
+        assert ddc.owners("data-1") == {"hostA", "hostB"}
+        assert ddc.publish_count == 2
+        assert ddc.search_count == 1
+
+    def test_publish_costs_time(self, env, drive):
+        ddc = DistributedDataCatalog(env)
+        for i in range(20):
+            ddc.join(f"host{i}")
+        drive(env, ddc.publish("data-x", "owner"))
+        assert env.now > 0
+
+    def test_unpublish(self, env, drive):
+        ddc = DistributedDataCatalog(env)
+        for i in range(5):
+            ddc.join(f"host{i}")
+        drive(env, ddc.publish("d", "h1"))
+        drive(env, ddc.publish("d", "h2"))
+        drive(env, ddc.unpublish("d", "h1"))
+        assert ddc.owners("d") == {"h2"}
+
+    def test_generic_key_value_pairs(self, env, drive):
+        ddc = DistributedDataCatalog(env)
+        for i in range(5):
+            ddc.join(f"host{i}")
+        drive(env, ddc.publish_pair("checkpoint:42", "signature-abc"))
+        values = drive(env, ddc.search_pair("checkpoint:42"))
+        assert values == {"signature-abc"}
+
+    def test_node_failure_preserves_published_pairs(self, env, drive):
+        ddc = DistributedDataCatalog(env, ChordRing(replication=3))
+        for i in range(10):
+            ddc.join(f"host{i}")
+        for i in range(30):
+            drive(env, ddc.publish(f"data-{i}", f"owner-{i}"))
+        ddc.fail("host4")
+        for i in range(30):
+            assert ddc.owners(f"data-{i}") == {f"owner-{i}"}
+
+    def test_size(self, env):
+        ddc = DistributedDataCatalog(env)
+        for i in range(4):
+            ddc.join(f"host{i}")
+        assert ddc.size == 4
+        ddc.leave("host2")
+        assert ddc.size == 3

@@ -1,0 +1,259 @@
+"""Tests for the future-work extensions: collectives, MapReduce, checkpoints."""
+
+import pytest
+
+from repro.apps.checkpointing import CheckpointManager
+from repro.apps.mapreduce import MapReduceJob, word_count_map, word_count_reduce
+from repro.core.collectives import DataCollectives, slice_content
+from repro.core.exceptions import DataNotFoundError
+from repro.core.runtime import BitDewEnvironment
+from repro.net.topology import cluster_topology
+from repro.storage.filesystem import FileContent
+
+
+def build(env, n_workers=4, **kwargs):
+    topo = cluster_topology(env, n_workers=n_workers)
+    kwargs.setdefault("sync_period_s", 1.0)
+    kwargs.setdefault("monitor_period_s", 0.2)
+    kwargs.setdefault("max_data_schedule", 8)
+    return topo, BitDewEnvironment(topo, **kwargs)
+
+
+class TestSliceContent:
+    def test_logical_slicing_divides_size(self):
+        content = FileContent.from_seed("big.bin", 100)
+        slices = slice_content(content, 4)
+        assert len(slices) == 4
+        assert sum(s.size_mb for s in slices) == pytest.approx(100)
+        assert len({s.checksum for s in slices}) == 4
+
+    def test_payload_slicing_preserves_bytes(self):
+        payload = b"0123456789" * 7
+        content = FileContent.from_bytes("data.txt", payload)
+        slices = slice_content(content, 3)
+        assert b"".join(s.payload for s in slices) == payload
+
+    def test_invalid_slice_count(self):
+        with pytest.raises(ValueError):
+            slice_content(FileContent.from_seed("x", 1), 0)
+
+
+class TestCollectives:
+    def test_broadcast_reaches_all_workers(self, env, drive):
+        topo, runtime = build(env, n_workers=4)
+        master = runtime.attach(topo.service_host, auto_sync=False)
+        collectives = DataCollectives(master, protocol="ftp")
+        content = FileContent.from_seed("model.bin", 8)
+
+        def program():
+            data = yield from master.bitdew.create_data("model.bin", content=content)
+            yield from master.bitdew.put(data, content)
+            yield from collectives.broadcast(data, protocol="ftp")
+            return data
+
+        data = drive(env, program())
+        workers = runtime.attach_all()
+        runtime.run(until=60)
+        assert all(agent.has_content(data.uid) for agent in workers)
+
+    def test_scatter_routes_each_slice_to_its_target(self, env, drive):
+        topo, runtime = build(env, n_workers=3)
+        master = runtime.attach(topo.service_host, auto_sync=False)
+        workers = runtime.attach_all()
+        collectives = DataCollectives(master, protocol="http")
+        content = FileContent.from_seed("input.bin", 12)
+
+        def program():
+            slices = yield from collectives.create_slices("input.bin", content, 3)
+            plan = yield from collectives.scatter(slices, workers)
+            return slices, plan
+
+        slices, plan = drive(env, program())
+        runtime.run(until=60)
+        # Each worker holds exactly the slice addressed to it.
+        for data in slices:
+            target = plan.host_of(data.uid)
+            assert target is not None
+            for agent in workers:
+                holds = agent.has_content(data.uid)
+                assert holds == (agent.host.name == target), (
+                    f"{agent.host.name} holding {data.name} (target {target})")
+
+    def test_scatter_requires_targets(self, env, drive):
+        topo, runtime = build(env, n_workers=1)
+        master = runtime.attach(topo.service_host, auto_sync=False)
+        collectives = DataCollectives(master)
+
+        def program():
+            yield from collectives.scatter([], [])
+
+        process = env.process(program())
+        with pytest.raises(ValueError):
+            env.run(until=process)
+
+    def test_gather_collects_worker_contributions(self, env, drive):
+        topo, runtime = build(env, n_workers=3)
+        master = runtime.attach(topo.service_host, auto_sync=True)
+        workers = runtime.attach_all()
+        collectives = DataCollectives(master, protocol="http")
+
+        def master_setup():
+            yield from collectives.open_collector("results")
+
+        drive(env, master_setup())
+
+        def worker_contribution(agent, index):
+            content = FileContent.from_bytes(f"result-{index}",
+                                             f"payload-{index}".encode())
+            data = yield from agent.bitdew.create_data(f"result-{index}",
+                                                       content=content)
+            yield from collectives.contribute(agent, data, content)
+
+        for index, agent in enumerate(workers):
+            env.process(worker_contribution(agent, index))
+
+        def master_wait():
+            gathered = yield from collectives.gather_wait(expected=3, poll_s=1.0,
+                                                          timeout_s=120.0)
+            return gathered
+
+        gathered = drive(env, master_wait())
+        assert len(gathered) == 3
+        assert {d.name for d in gathered} == {"result-0", "result-1", "result-2"}
+
+    def test_contribute_before_collector_raises(self, env):
+        topo, runtime = build(env, n_workers=1)
+        master = runtime.attach(topo.service_host, auto_sync=False)
+        agent = runtime.attach(topo.worker_hosts[0], auto_sync=False)
+        collectives = DataCollectives(master)
+        content = FileContent.from_bytes("r", b"x")
+        with pytest.raises(RuntimeError):
+            next(collectives.contribute(agent, None, content))
+
+
+class TestMapReduce:
+    def test_word_count_end_to_end(self, env):
+        topo, runtime = build(env, n_workers=6)
+        text = ("the quick brown fox jumps over the lazy dog " * 12
+                + "bitdew moves the data so the computation follows " * 8).encode()
+        job = MapReduceJob(runtime, master_host=topo.service_host,
+                           input_payload=text, n_map_slices=4, n_reducers=2)
+        job.assign_workers()
+        result = job.run(deadline_s=2000, poll_s=2.0)
+
+        # The distributed result must equal a sequential word count.
+        expected = {}
+        for word, one in word_count_map(text):
+            expected[word] = expected.get(word, 0) + one
+        assert result.output == expected
+        assert result.map_tasks == 4
+        assert result.reduce_tasks == 2
+        assert result.intermediate_data >= 2
+        assert result.makespan_s > 0
+
+    def test_custom_map_reduce_functions(self, env):
+        topo, runtime = build(env, n_workers=4)
+        payload = bytes(range(256)) * 8
+
+        def byte_histogram_map(data: bytes):
+            for value in data:
+                yield ("even" if value % 2 == 0 else "odd"), 1
+
+        job = MapReduceJob(runtime, master_host=topo.service_host,
+                           input_payload=payload, n_map_slices=2, n_reducers=2,
+                           map_function=byte_histogram_map,
+                           reduce_function=word_count_reduce)
+        job.assign_workers()
+        result = job.run(deadline_s=2000, poll_s=2.0)
+        assert result.output == {"even": 1024, "odd": 1024}
+
+    def test_validation(self, env):
+        topo, runtime = build(env, n_workers=2)
+        with pytest.raises(ValueError):
+            MapReduceJob(runtime, topo.service_host, b"x", n_map_slices=0)
+        job = MapReduceJob(runtime, topo.service_host, b"x")
+        with pytest.raises(ValueError):
+            job.assign_workers(hosts=[topo.worker_hosts[0]])
+
+
+class TestCheckpointing:
+    def test_store_restore_roundtrip(self, env, drive):
+        topo, runtime = build(env, n_workers=3)
+        worker = runtime.attach(topo.worker_hosts[0], auto_sync=True)
+        runtime.attach_all(topo.worker_hosts[1:])
+        manager = CheckpointManager(worker, application="climate-sim", replica=2)
+
+        def program():
+            for sequence in range(3):
+                image = FileContent.from_seed(f"state-{sequence}", 4,
+                                              seed=f"run:{sequence}")
+                yield from manager.store(sequence, image)
+            return manager.records
+
+        records = drive(env, program())
+        assert len(records) == 3
+        runtime.run(until=env.now + 30)
+
+        def restore():
+            sequence, content = yield from manager.restore()
+            return sequence, content
+
+        sequence, content = drive(env, restore())
+        assert sequence == 2
+        assert content.checksum == records[2].signature
+
+    def test_checkpoint_replicated_for_fault_tolerance(self, env, drive):
+        topo, runtime = build(env, n_workers=4)
+        worker = runtime.attach(topo.worker_hosts[0], auto_sync=True)
+        runtime.attach_all(topo.worker_hosts[1:])
+        manager = CheckpointManager(worker, application="app", replica=2)
+
+        def program():
+            image = FileContent.from_seed("state", 4)
+            record = yield from manager.store(0, image)
+            return record
+
+        record = drive(env, program())
+        runtime.run(until=env.now + 30)
+        owners = runtime.data_scheduler.owners_of(record.data.uid)
+        assert len(owners) >= 2
+        entry = runtime.data_scheduler.entry(record.data.uid)
+        assert entry.attribute.fault_tolerance
+
+    def test_signature_verification_detects_divergence(self, env, drive):
+        topo, runtime = build(env, n_workers=3)
+        honest = runtime.attach(topo.worker_hosts[0], auto_sync=False)
+        replica = runtime.attach(topo.worker_hosts[1], auto_sync=False)
+        saboteur = runtime.attach(topo.worker_hosts[2], auto_sync=False)
+        image = FileContent.from_seed("ckpt", 2, seed="good-state")
+
+        manager_a = CheckpointManager(honest, application="sim")
+        manager_b = CheckpointManager(replica, application="sim")
+        manager_evil = CheckpointManager(saboteur, application="sim")
+
+        def program():
+            yield from manager_a.store(0, image)
+            yield from manager_b.publish_signature(0, image.checksum)
+            yield from manager_evil.publish_signature(0, image.corrupted().checksum)
+            good = yield from manager_a.verify(0, image)
+            bad = yield from manager_evil.verify(0, image.corrupted())
+            return good, bad
+
+        good, bad = drive(env, program())
+        assert good.accepted
+        assert good.matching == 2 and good.diverging == 1
+        assert not bad.accepted or bad.matching <= bad.diverging
+
+    def test_restore_without_checkpoints_raises(self, env):
+        topo, runtime = build(env, n_workers=1)
+        worker = runtime.attach(topo.worker_hosts[0], auto_sync=False)
+        manager = CheckpointManager(worker, application="nothing")
+        process = env.process(manager.latest())
+        with pytest.raises(DataNotFoundError):
+            env.run(until=process)
+
+    def test_invalid_replica(self, env):
+        topo, runtime = build(env, n_workers=1)
+        worker = runtime.attach(topo.worker_hosts[0], auto_sync=False)
+        with pytest.raises(ValueError):
+            CheckpointManager(worker, application="x", replica=0)

@@ -1,0 +1,215 @@
+"""Unit tests for the flow-level bandwidth-sharing network."""
+
+import pytest
+
+from repro.net.flows import Network, TransferFailed
+from repro.net.host import Host, HostState
+
+
+class TestHostModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Host("h", uplink_mbps=0)
+        with pytest.raises(ValueError):
+            Host("h", cpu_factor=-1)
+
+    def test_compute_time_scales_with_cpu_factor(self):
+        fast = Host("fast", cpu_factor=2.0)
+        slow = Host("slow", cpu_factor=0.5)
+        assert fast.compute_time(100) == pytest.approx(50)
+        assert slow.compute_time(100) == pytest.approx(200)
+        with pytest.raises(ValueError):
+            fast.compute_time(-1)
+
+    def test_failure_and_recovery_listeners(self):
+        host = Host("h")
+        log = []
+        host.on_failure(lambda h: log.append(("down", h.name)))
+        host.on_recovery(lambda h: log.append(("up", h.name)))
+        host.fail()
+        host.fail()      # idempotent
+        host.recover()
+        host.recover()   # idempotent
+        assert log == [("down", "h"), ("up", "h")]
+        assert host.state is HostState.ONLINE
+
+    def test_hosts_hash_by_identity(self):
+        a, b = Host("same"), Host("same")
+        assert a != b
+        assert len({a, b}) == 2
+
+
+class TestSingleFlow:
+    def test_single_flow_rate_limited_by_bottleneck(self, env, simple_network):
+        network, server, workers = simple_network
+        flow = network.transfer(server, workers[0], 100.0)
+        env.run(until=flow.done)
+        # 100 MB at 100 MB/s plus 1 ms latency.
+        assert flow.end_time == pytest.approx(1.001, rel=1e-3)
+        assert flow.transferred_mb == pytest.approx(100.0)
+        assert network.completed_flows == 1
+
+    def test_zero_size_transfer_is_latency_only(self, env, simple_network):
+        network, server, workers = simple_network
+        flow = network.transfer(server, workers[0], 0.0)
+        env.run(until=flow.done)
+        assert flow.end_time == pytest.approx(0.001)
+
+    def test_transfer_to_unregistered_host_rejected(self, env, simple_network):
+        network, server, _ = simple_network
+        stranger = Host("stranger")
+        with pytest.raises(KeyError):
+            network.transfer(server, stranger, 10)
+
+    def test_duplicate_host_name_rejected(self, env, simple_network):
+        network, _, _ = simple_network
+        with pytest.raises(ValueError):
+            network.add_host(Host("server"))
+
+    def test_mean_rate(self, env, simple_network):
+        network, server, workers = simple_network
+        flow = network.transfer(server, workers[0], 50.0)
+        env.run(until=flow.done)
+        assert flow.mean_rate_mbps == pytest.approx(50.0 / flow.duration)
+
+
+class TestSharing:
+    def test_server_uplink_shared_fairly(self, env, simple_network):
+        network, server, workers = simple_network
+        flows = [network.transfer(server, w, 100.0) for w in workers]
+        env.run(until=env.all_of([f.done for f in flows]))
+        # Three flows share the server's 100 MB/s: ~3 s each.
+        for flow in flows:
+            assert flow.end_time == pytest.approx(3.001, rel=1e-2)
+
+    def test_staggered_flows_speed_up_after_completion(self, env, simple_network):
+        network, server, workers = simple_network
+        first = network.transfer(server, workers[0], 100.0)
+
+        def add_second():
+            yield env.timeout(0.501)
+            return network.transfer(server, workers[1], 100.0)
+
+        handle = env.process(add_second())
+        env.run(until=first.done)
+        second = handle.value
+        env.run(until=second.done)
+        # First flow: 0.5 s alone (50 MB) then shares -> finishes around 1.5 s.
+        assert first.end_time == pytest.approx(1.5, rel=5e-2)
+        # Second flow gets full bandwidth after the first finishes.
+        assert second.end_time < 2.6
+
+    def test_distinct_paths_do_not_interfere(self, env):
+        network = Network(env, default_latency_s=0.0)
+        a = network.add_host(Host("a", uplink_mbps=10, downlink_mbps=10))
+        b = network.add_host(Host("b", uplink_mbps=10, downlink_mbps=10))
+        c = network.add_host(Host("c", uplink_mbps=10, downlink_mbps=10))
+        d = network.add_host(Host("d", uplink_mbps=10, downlink_mbps=10))
+        f1 = network.transfer(a, b, 10)
+        f2 = network.transfer(c, d, 10)
+        env.run(until=env.all_of([f1.done, f2.done]))
+        assert f1.end_time == pytest.approx(1.0, rel=1e-3)
+        assert f2.end_time == pytest.approx(1.0, rel=1e-3)
+
+    def test_rate_cap_limits_single_flow(self, env, simple_network):
+        network, server, workers = simple_network
+        flow = network.transfer(server, workers[0], 50.0, rate_cap_mbps=10.0)
+        env.run(until=flow.done)
+        assert flow.end_time == pytest.approx(5.001, rel=1e-3)
+
+    def test_background_load_reduces_capacity(self, env, simple_network):
+        network, server, workers = simple_network
+        network.add_background_load(server, "up", 50.0)
+        flow = network.transfer(server, workers[0], 100.0)
+        env.run(until=flow.done)
+        assert flow.end_time == pytest.approx(2.001, rel=1e-2)
+        network.remove_background_load(server, "up", 50.0)
+        flow2 = network.transfer(server, workers[1], 100.0)
+        env.run(until=flow2.done)
+        assert flow2.duration == pytest.approx(1.0, rel=1e-2)
+
+    def test_cluster_gateway_caps_intercluster_traffic(self, env):
+        network = Network(env, default_latency_s=0.0, wan_latency_s=0.0)
+        src = network.add_host(Host("src", cluster="A",
+                                    uplink_mbps=1000, downlink_mbps=1000))
+        dsts = [network.add_host(Host(f"dst{i}", cluster="B",
+                                      uplink_mbps=1000, downlink_mbps=1000))
+                for i in range(4)]
+        network.set_cluster_gateway("B", egress_mbps=100, ingress_mbps=100)
+        flows = [network.transfer(src, d, 100) for d in dsts]
+        env.run(until=env.all_of([f.done for f in flows]))
+        # 400 MB total through a 100 MB/s gateway -> 4 s.
+        assert max(f.end_time for f in flows) == pytest.approx(4.0, rel=2e-2)
+
+    def test_gateway_validation(self, env):
+        network = Network(env)
+        with pytest.raises(ValueError):
+            network.set_cluster_gateway("x", egress_mbps=0)
+
+
+class TestFailures:
+    def test_host_failure_aborts_flows(self, env, simple_network):
+        network, server, workers = simple_network
+        flow = network.transfer(server, workers[0], 1000.0)
+
+        def crash():
+            yield env.timeout(1.0)
+            workers[0].fail()
+
+        env.process(crash())
+
+        def waiter():
+            try:
+                yield flow.done
+            except TransferFailed as exc:
+                return str(exc)
+
+        p = env.process(waiter())
+        env.run(until=p)
+        assert "failed" in p.value
+        assert flow.aborted
+        assert network.failed_flows == 1
+
+    def test_transfer_to_offline_host_fails_immediately(self, env, simple_network):
+        network, server, workers = simple_network
+        workers[0].fail()
+        flow = network.transfer(server, workers[0], 10.0)
+        assert flow.done.triggered
+        assert flow.done.ok is False
+
+    def test_abort_api(self, env, simple_network):
+        network, server, workers = simple_network
+        flow = network.transfer(server, workers[0], 1000.0)
+
+        def do_abort():
+            yield env.timeout(0.5)
+            network.abort(flow, "operator cancelled")
+
+        env.process(do_abort())
+        env.run(until=2)
+        assert flow.aborted
+        assert not [f for f in network.active_flows]
+
+    def test_other_flows_speed_up_after_failure(self, env, simple_network):
+        network, server, workers = simple_network
+        victim = network.transfer(server, workers[0], 1000.0)
+        survivor = network.transfer(server, workers[1], 100.0)
+
+        def crash():
+            yield env.timeout(0.5)
+            workers[0].fail()
+
+        env.process(crash())
+        env.run(until=survivor.done)
+        # Survivor shared 100 MB/s for 0.5 s (25 MB done), then got it all.
+        assert survivor.end_time == pytest.approx(1.25, rel=5e-2)
+        assert victim.aborted
+
+    def test_latency_between(self, env):
+        network = Network(env, default_latency_s=0.001, wan_latency_s=0.05)
+        a = network.add_host(Host("a", cluster="one"))
+        b = network.add_host(Host("b", cluster="one"))
+        c = network.add_host(Host("c", cluster="two"))
+        assert network.latency_between(a, a) == 0.0
+        assert network.latency_between(a, b) == 0.001
+        assert network.latency_between(a, c) == 0.05

@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import Attribute, parse_attribute
+from repro.core.data import Data
+from repro.dht.chord import ChordRing, chord_hash
+from repro.net.flows import Network
+from repro.net.host import Host
+from repro.services.data_scheduler import DataSchedulerService
+from repro.sim.kernel import Environment
+from repro.storage.filesystem import FileContent, LocalFileSystem, StorageFullError
+
+common_settings = settings(max_examples=40, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# Attribute grammar round trip
+# ---------------------------------------------------------------------------
+
+attribute_strategy = st.builds(
+    Attribute,
+    name=st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True),
+    replica=st.one_of(st.just(-1), st.integers(min_value=1, max_value=50)),
+    fault_tolerance=st.booleans(),
+    absolute_lifetime=st.one_of(st.none(),
+                                st.floats(min_value=1.0, max_value=1e6,
+                                          allow_nan=False, allow_infinity=False)),
+    relative_lifetime=st.one_of(st.none(), st.from_regex(r"[A-Za-z][A-Za-z0-9]{0,8}",
+                                                         fullmatch=True)),
+    affinity=st.one_of(st.none(), st.from_regex(r"[A-Za-z][A-Za-z0-9]{0,8}",
+                                                fullmatch=True)),
+    protocol=st.sampled_from(["http", "ftp", "bittorrent"]),
+)
+
+
+@common_settings
+@given(attribute_strategy)
+def test_attribute_describe_parse_round_trip(attribute):
+    """describe() always produces a definition parse_attribute() accepts,
+    and parsing preserves every field."""
+    parsed = parse_attribute(attribute.describe())
+    assert parsed.name == attribute.name
+    assert parsed.replica == attribute.replica
+    assert parsed.fault_tolerance == attribute.fault_tolerance
+    if attribute.absolute_lifetime is None:
+        assert parsed.absolute_lifetime is None
+    else:
+        assert math.isclose(parsed.absolute_lifetime, attribute.absolute_lifetime,
+                            rel_tol=1e-9)
+    assert parsed.relative_lifetime == attribute.relative_lifetime
+    assert parsed.affinity == attribute.affinity
+    assert parsed.protocol == attribute.protocol
+
+
+# ---------------------------------------------------------------------------
+# Chord ring invariants
+# ---------------------------------------------------------------------------
+
+@common_settings
+@given(
+    n_nodes=st.integers(min_value=1, max_value=24),
+    keys=st.lists(st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=12),
+                  min_size=1, max_size=40, unique=True),
+)
+def test_chord_every_key_is_retrievable_and_replicated(n_nodes, keys):
+    ring = ChordRing(replication=2)
+    for i in range(n_nodes):
+        ring.join(f"node-{i:03d}")
+    for key in keys:
+        ring.put(key, f"value-of-{key}")
+    for key in keys:
+        values, result = ring.get(key)
+        assert f"value-of-{key}" in values
+        # The lookup terminates on the node responsible for the key.
+        assert result.node is ring.successor_of(chord_hash(key, ring.bits))
+        # The key is present on min(replication, n_nodes) distinct nodes.
+        holders = [n for n in ring.nodes if key in n.storage]
+        assert len(holders) >= min(2, n_nodes)
+
+
+@common_settings
+@given(
+    n_nodes=st.integers(min_value=3, max_value=20),
+    fail_index=st.integers(min_value=0, max_value=19),
+    keys=st.lists(st.text(alphabet="abcdef", min_size=1, max_size=8),
+                  min_size=1, max_size=25, unique=True),
+)
+def test_chord_single_failure_never_loses_keys(n_nodes, fail_index, keys):
+    ring = ChordRing(replication=2)
+    for i in range(n_nodes):
+        ring.join(f"node-{i:03d}")
+    for key in keys:
+        ring.put(key, key.upper())
+    ring.fail(f"node-{fail_index % n_nodes:03d}")
+    for key in keys:
+        values, _ = ring.get(key)
+        assert key.upper() in values
+
+
+# ---------------------------------------------------------------------------
+# Max-min fairness invariants
+# ---------------------------------------------------------------------------
+
+@common_settings
+@given(
+    uplink=st.floats(min_value=1.0, max_value=1000.0),
+    downlinks=st.lists(st.floats(min_value=1.0, max_value=1000.0),
+                       min_size=1, max_size=12),
+)
+def test_maxmin_allocation_respects_capacities(uplink, downlinks):
+    env = Environment()
+    network = Network(env, default_latency_s=0.0)
+    server = network.add_host(Host("server", uplink_mbps=uplink,
+                                   downlink_mbps=uplink))
+    flows = []
+    for i, down in enumerate(downlinks):
+        worker = network.add_host(Host(f"w{i}", uplink_mbps=down, downlink_mbps=down))
+        flows.append(network.transfer(server, worker, 10_000.0))
+    env.run(until=0.001)  # let the latency-delayed flows activate
+    active = network.active_flows
+    assert len(active) == len(downlinks)
+    total = sum(f.rate_mbps for f in active)
+    # Feasibility: no constraint is exceeded.
+    assert total <= uplink * (1 + 1e-9)
+    for flow, down in zip(active, downlinks):
+        assert flow.rate_mbps <= down * (1 + 1e-9)
+    # Work conservation: either the uplink is saturated or every flow is
+    # limited by its own downlink.
+    saturated = math.isclose(total, uplink, rel_tol=1e-6)
+    all_down_limited = all(
+        math.isclose(f.rate_mbps, d, rel_tol=1e-6) or f.rate_mbps < d
+        for f, d in zip(active, downlinks))
+    assert saturated or all(
+        math.isclose(f.rate_mbps, d, rel_tol=1e-6) for f, d in zip(active, downlinks))
+    # Max-min fairness: a flow below its downlink capacity gets at least as
+    # much as any other flow (no one is starved in favour of a luckier flow).
+    unconstrained = [f.rate_mbps for f, d in zip(active, downlinks)
+                     if f.rate_mbps < d * (1 - 1e-6)]
+    if unconstrained:
+        assert max(active, key=lambda f: f.rate_mbps).rate_mbps <= \
+            min(unconstrained) * (1 + 1e-6) or saturated
+
+
+@common_settings
+@given(
+    sizes=st.lists(st.floats(min_value=0.5, max_value=200.0), min_size=1,
+                   max_size=8),
+)
+def test_all_flows_eventually_deliver_their_volume(sizes):
+    env = Environment()
+    network = Network(env, default_latency_s=0.0)
+    server = network.add_host(Host("server", uplink_mbps=100, downlink_mbps=100))
+    flows = []
+    for i, size in enumerate(sizes):
+        worker = network.add_host(Host(f"w{i}", uplink_mbps=50, downlink_mbps=50))
+        flows.append(network.transfer(server, worker, size))
+    env.run(until=env.all_of([f.done for f in flows]))
+    for flow, size in zip(flows, sizes):
+        assert flow.remaining_mb == 0.0
+        assert flow.transferred_mb == size
+    assert math.isclose(network.total_mb_delivered, sum(sizes), rel_tol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler (Algorithm 1) invariants
+# ---------------------------------------------------------------------------
+
+@common_settings
+@given(
+    replicas=st.lists(st.one_of(st.just(-1), st.integers(min_value=1, max_value=6)),
+                      min_size=1, max_size=12),
+    n_hosts=st.integers(min_value=1, max_value=10),
+    max_schedule=st.integers(min_value=1, max_value=8),
+)
+def test_scheduler_never_exceeds_replica_targets(replicas, n_hosts, max_schedule):
+    env = Environment()
+    scheduler = DataSchedulerService(env, max_data_schedule=max_schedule)
+    datas = []
+    for i, replica in enumerate(replicas):
+        data = Data(name=f"d{i}")
+        scheduler.schedule(data, Attribute(name=f"a{i}", replica=replica))
+        datas.append((data, replica))
+
+    caches = {f"h{j}": set() for j in range(n_hosts)}
+    # Enough synchronisation rounds for every host to receive everything it is
+    # entitled to, even with max_data_schedule = 1.
+    for _round in range(len(replicas) + 2):
+        for host, cache in caches.items():
+            result = scheduler.compute_schedule(host, set(cache))
+            assert len(result.to_download) <= max_schedule
+            cache.difference_update(result.to_delete)
+            cache.update(d.uid for d, _ in result.assigned)
+
+    for data, replica in datas:
+        owners = scheduler.owners_of(data.uid)
+        assert len(owners) <= n_hosts
+        if replica == -1:
+            assert len(owners) == n_hosts
+        else:
+            assert len(owners) <= replica
+    # Every owner recorded by the scheduler actually holds the datum.
+    for data, _ in datas:
+        for owner in scheduler.owners_of(data.uid):
+            assert data.uid in caches[owner]
+
+
+# ---------------------------------------------------------------------------
+# Local file system capacity invariant
+# ---------------------------------------------------------------------------
+
+@common_settings
+@given(
+    capacity=st.floats(min_value=1.0, max_value=500.0),
+    sizes=st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1,
+                   max_size=30),
+)
+def test_filesystem_never_exceeds_capacity(capacity, sizes):
+    fs = LocalFileSystem(capacity_mb=capacity)
+    stored = 0
+    for i, size in enumerate(sizes):
+        try:
+            fs.write(f"file-{i}", FileContent.from_seed(f"file-{i}", size))
+            stored += 1
+        except StorageFullError:
+            pass
+        assert fs.used_mb <= capacity + 1e-9
+    assert len(fs) == stored
+    fs.purge()
+    assert fs.used_mb == 0.0

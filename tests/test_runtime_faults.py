@@ -1,0 +1,143 @@
+"""Failure-injection tests: transient service faults, crashes, restarts."""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.core.runtime import BitDewEnvironment
+from repro.net.rpc import RpcError
+from repro.net.topology import cluster_topology
+from repro.storage.filesystem import FileContent
+
+
+def build(env, n_workers=3, **kwargs):
+    topo = cluster_topology(env, n_workers=n_workers)
+    kwargs.setdefault("sync_period_s", 1.0)
+    kwargs.setdefault("monitor_period_s", 0.2)
+    return topo, BitDewEnvironment(topo, **kwargs)
+
+
+class TestServiceHostTransientFault:
+    def test_rpc_to_down_service_raises_and_recovers(self, env, drive):
+        topo, runtime = build(env)
+        agent = runtime.attach(topo.worker_hosts[0], auto_sync=False)
+        topo.service_host.fail()
+
+        def call():
+            yield from agent.invoke("dc", "find_by_name", "anything")
+
+        process = env.process(call())
+        with pytest.raises(RpcError):
+            env.run(until=process)
+
+        # The paper's fault model for service nodes is transient: after a
+        # restart by the administrator, clients simply resume.
+        topo.service_host.recover()
+        result = drive(env, agent.invoke("dc", "find_by_name", "anything"))
+        assert result == []
+
+    def test_sync_loop_survives_service_outage(self, env, drive):
+        topo, runtime = build(env)
+        master = runtime.attach(topo.service_host, auto_sync=False)
+        content = FileContent.from_seed("blob", 4)
+
+        def publish():
+            data = yield from master.bitdew.create_data("blob", content=content)
+            yield from master.bitdew.put(data, content)
+            yield from master.active_data.schedule(
+                data, Attribute(name="all", replica=-1, protocol="http"))
+            return data
+
+        data = drive(env, publish())
+        workers = runtime.attach_all()
+        # Take the service host down before any worker manages to sync.
+        topo.service_host.fail()
+        runtime.run(until=10)
+        assert not any(a.has_content(data.uid) for a in workers)
+        # Bring it back: the pull loops keep retrying and eventually succeed.
+        topo.service_host.recover()
+        runtime.run(until=60)
+        assert all(a.has_content(data.uid) for a in workers)
+
+
+class TestWorkerCrashAndRestart:
+    def test_restart_gets_a_fresh_cache_and_resyncs(self, env, drive):
+        topo, runtime = build(env, n_workers=2)
+        master = runtime.attach(topo.service_host, auto_sync=False)
+        content = FileContent.from_seed("blob", 4)
+
+        def publish():
+            data = yield from master.bitdew.create_data("blob", content=content)
+            yield from master.bitdew.put(data, content)
+            yield from master.active_data.schedule(
+                data, Attribute(name="all", replica=-1, protocol="http"))
+            return data
+
+        data = drive(env, publish())
+        workers = runtime.attach_all()
+        runtime.run(until=20)
+        victim = workers[0]
+        assert victim.has_content(data.uid)
+
+        runtime.crash_host(victim.host)
+        assert not victim.running
+        runtime.run(until=env.now + 5)
+
+        fresh = runtime.restart_host(victim.host)
+        assert fresh is not victim
+        assert fresh.cached_uids() == set()
+        runtime.run(until=env.now + 30)
+        # The restarted reservoir re-acquires the replicate-to-all datum.
+        assert fresh.has_content(data.uid)
+
+    def test_crash_aborts_inflight_download_without_crashing_the_sim(self, env, drive):
+        topo, runtime = build(env, n_workers=2)
+        master = runtime.attach(topo.service_host, auto_sync=False)
+        content = FileContent.from_seed("huge", 500)
+
+        def publish():
+            data = yield from master.bitdew.create_data("huge", content=content)
+            yield from master.bitdew.put(data, content)
+            yield from master.active_data.schedule(
+                data, Attribute(name="all", replica=-1, protocol="ftp"))
+            return data
+
+        data = drive(env, publish())
+        workers = runtime.attach_all()
+        runtime.run(until=3)   # downloads are now in flight
+        runtime.crash_host(workers[0].host)
+        runtime.run(until=60)  # must not raise
+        assert workers[1].has_content(data.uid)
+        assert not workers[0].host.online
+
+    def test_detach_forgets_heartbeats(self, env):
+        topo, runtime = build(env, n_workers=1)
+        agent = runtime.attach(topo.worker_hosts[0])
+        runtime.run(until=5)
+        detector = runtime.container.failure_detector
+        assert detector.is_alive(agent.host.name)
+        runtime.detach(agent.host)
+        assert agent.host.name not in detector.known_hosts()
+
+
+class TestDataIntegrityFaults:
+    def test_corrupted_repository_copy_fails_transfer(self, env, drive):
+        topo, runtime = build(env, n_workers=1)
+        master = runtime.attach(topo.service_host, auto_sync=False)
+        worker = runtime.attach(topo.worker_hosts[0], auto_sync=False)
+        content = FileContent.from_seed("blob", 4)
+
+        def publish():
+            data = yield from master.bitdew.create_data("blob", content=content)
+            yield from master.bitdew.put(data, content)
+            return data
+
+        data = drive(env, publish())
+        # Corrupt the repository copy behind BitDew's back.
+        repository = runtime.data_repository
+        repository.filesystem.write(repository.path_for(data), content.corrupted())
+
+        from repro.core.exceptions import TransferAbortedError
+        process = env.process(worker.fetch(data, protocol="http"))
+        with pytest.raises(TransferAbortedError):
+            env.run(until=process)
+        assert not worker.has_content(data.uid)

@@ -1,0 +1,159 @@
+"""Unit tests for the Data Catalog and Data Repository services."""
+
+import pytest
+
+from repro.core.data import Data, DataStatus, Locator
+from repro.core.exceptions import DataNotFoundError
+from repro.net.host import Host
+from repro.services.data_catalog import DataCatalogService
+from repro.services.data_repository import DataRepositoryService
+from repro.storage.database import Database, EmbeddedSQLEngine
+from repro.storage.filesystem import FileContent, LocalFileSystem
+
+
+@pytest.fixture
+def catalog(env):
+    return DataCatalogService(Database(env, copy_objects=False))
+
+
+@pytest.fixture
+def repository(env):
+    host = Host("service", stable=True)
+    return DataRepositoryService(env, host, filesystem=LocalFileSystem(owner="repo"))
+
+
+class TestDataCatalog:
+    def test_register_and_get(self, env, catalog, drive):
+        data = Data(name="input.dat", size_mb=3)
+        drive(env, catalog.register_data(data))
+        fetched = drive(env, catalog.get_data(data.uid))
+        assert fetched.name == "input.dat"
+        assert catalog.data_count == 1
+        assert catalog.requests == 2
+
+    def test_get_missing_raises(self, env, catalog):
+        process = env.process(catalog.get_data("no-such-uid"))
+        with pytest.raises(DataNotFoundError):
+            env.run(until=process)
+
+    def test_find_by_name(self, env, catalog, drive):
+        for i in range(3):
+            drive(env, catalog.register_data(Data(name="shared.dat")))
+        drive(env, catalog.register_data(Data(name="other.dat")))
+        matches = drive(env, catalog.find_by_name("shared.dat"))
+        assert len(matches) == 3
+        assert drive(env, catalog.find_by_name("nothing")) == []
+
+    def test_update_status(self, env, catalog, drive):
+        data = Data(name="x")
+        drive(env, catalog.register_data(data))
+        updated = drive(env, catalog.update_status(data.uid, DataStatus.AVAILABLE))
+        assert updated.status is DataStatus.AVAILABLE
+        assert catalog.get_data_now(data.uid).status is DataStatus.AVAILABLE
+
+    def test_delete_removes_locators_too(self, env, catalog, drive):
+        data = Data(name="x")
+        drive(env, catalog.register_data(data))
+        drive(env, catalog.add_locator(Locator(data_uid=data.uid, host_name="h",
+                                               reference="p")))
+        assert len(catalog.locators_for_now(data.uid)) == 1
+        assert drive(env, catalog.delete_data(data.uid))
+        assert catalog.get_data_now(data.uid) is None
+        assert catalog.locators_for_now(data.uid) == []
+
+    def test_locator_listing(self, env, catalog, drive):
+        data = Data(name="x")
+        drive(env, catalog.register_data(data))
+        for host in ("a", "b"):
+            drive(env, catalog.add_locator(
+                Locator(data_uid=data.uid, host_name=host, reference="p")))
+        locators = drive(env, catalog.locators_for(data.uid))
+        assert {l.host_name for l in locators} == {"a", "b"}
+
+    def test_key_value_publish_and_lookup(self, env, catalog, drive):
+        drive(env, catalog.publish_pair("data-1", "hostA"))
+        drive(env, catalog.publish_pair("data-1", "hostB"))
+        values = drive(env, catalog.lookup_pair("data-1"))
+        assert values == {"hostA", "hostB"}
+        assert catalog.lookup_pair_now("data-1") == {"hostA", "hostB"}
+        assert drive(env, catalog.lookup_pair("unknown")) == set()
+
+    def test_operations_cost_database_time(self, env, drive):
+        engine = EmbeddedSQLEngine(operation_cost_s=0.01, connection_cost_s=0.0)
+        catalog = DataCatalogService(Database(env, engine=engine, copy_objects=False))
+        drive(env, catalog.register_data(Data(name="x")))
+        assert env.now == pytest.approx(0.01)
+
+
+class TestDataRepository:
+    def test_store_and_retrieve(self, repository):
+        content = FileContent.from_seed("payload", 10)
+        data = Data.from_content(content)
+        locator = repository.store_now(data, content)
+        assert locator.permanent
+        assert locator.host_name == "service"
+        assert repository.has(data.uid)
+        assert repository.retrieve_now(data.uid).verify(content)
+        assert repository.stored_count == 1
+        assert repository.used_mb == pytest.approx(10)
+
+    def test_store_rejects_mismatched_content(self, repository):
+        content = FileContent.from_seed("payload", 10)
+        data = Data(name="payload", size_mb=99, checksum="bogus")
+        with pytest.raises(ValueError):
+            repository.store_now(data, content)
+
+    def test_retrieve_missing_raises(self, repository):
+        with pytest.raises(DataNotFoundError):
+            repository.retrieve_now("missing-uid")
+        with pytest.raises(DataNotFoundError):
+            repository.endpoint_for("missing-uid")
+
+    def test_delete(self, repository):
+        content = FileContent.from_seed("payload", 1)
+        data = Data.from_content(content)
+        repository.store_now(data, content)
+        assert repository.delete_now(data.uid)
+        assert not repository.delete_now(data.uid)
+        assert not repository.has(data.uid)
+
+    def test_describe_protocol(self, env, repository, drive):
+        content = FileContent.from_seed("payload", 1)
+        data = Data.from_content(content)
+        repository.store_now(data, content)
+        description = drive(env, repository.describe_protocol(data.uid, "ftp"))
+        assert description.protocol == "ftp"
+        assert description.host_name == "service"
+        default = drive(env, repository.describe_protocol(data.uid))
+        assert default.protocol == repository.default_protocol
+
+    def test_describe_protocol_missing_raises(self, env, repository):
+        process = env.process(repository.describe_protocol("nope"))
+        with pytest.raises(DataNotFoundError):
+            env.run(until=process)
+
+    def test_register_upload(self, repository):
+        content = FileContent.from_seed("uploaded", 2)
+        data = Data.from_content(content)
+        # Simulate an out-of-band upload landing at the repository path.
+        repository.filesystem.write(repository.path_for(data), content)
+        locator = repository.register_upload(data)
+        assert locator.permanent
+        assert repository.has(data.uid)
+
+    def test_register_upload_missing_or_corrupt(self, repository):
+        content = FileContent.from_seed("uploaded", 2)
+        data = Data.from_content(content)
+        with pytest.raises(DataNotFoundError):
+            repository.register_upload(data)
+        repository.filesystem.write(repository.path_for(data), content.corrupted())
+        with pytest.raises(ValueError):
+            repository.register_upload(data)
+
+    def test_endpoint_for(self, repository):
+        content = FileContent.from_seed("payload", 1)
+        data = Data.from_content(content)
+        repository.store_now(data, content)
+        endpoint = repository.endpoint_for(data.uid)
+        assert endpoint.read().verify(content)
+        assert endpoint.host.name == "service"

@@ -1,0 +1,78 @@
+"""Unit tests for the named random-stream registry."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "net") == derive_seed(42, "net")
+
+    def test_different_names_differ(self):
+        assert derive_seed(42, "net") != derive_seed(42, "cpu")
+
+    def test_different_masters_differ(self):
+        assert derive_seed(1, "net") != derive_seed(2, "net")
+
+    def test_positive_63_bit(self):
+        seed = derive_seed(123456789, "stream")
+        assert 0 <= seed < (1 << 63)
+
+
+class TestRandomStreams:
+    def test_same_name_same_generator(self):
+        streams = RandomStreams(7)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(7).uniform("x", 0, 1)
+        b = RandomStreams(7).uniform("x", 0, 1)
+        assert a == b
+
+    def test_streams_are_independent_of_creation_order(self):
+        one = RandomStreams(7)
+        _ = one.uniform("first", 0, 1)
+        value_one = one.uniform("second", 0, 1)
+        two = RandomStreams(7)
+        value_two = two.uniform("second", 0, 1)
+        assert value_one == value_two
+
+    def test_exponential_positive_and_validates(self):
+        streams = RandomStreams(3)
+        assert streams.exponential("e", 10.0) > 0
+        with pytest.raises(ValueError):
+            streams.exponential("e", 0)
+
+    def test_normal_clipped_bounds(self):
+        streams = RandomStreams(3)
+        for i in range(200):
+            value = streams.normal_clipped(f"n{i}", 1.0, 5.0, minimum=0.5, maximum=1.5)
+            assert 0.5 <= value <= 1.5
+
+    def test_weibull_validates(self):
+        streams = RandomStreams(3)
+        assert streams.weibull("w", 0.7, 100.0) >= 0
+        with pytest.raises(ValueError):
+            streams.weibull("w", -1, 100.0)
+
+    def test_choice_range_and_validation(self):
+        streams = RandomStreams(3)
+        for i in range(100):
+            assert 0 <= streams.choice(f"c{i}", 5) < 5
+        with pytest.raises(ValueError):
+            streams.choice("c", 0)
+
+    def test_shuffle_preserves_items(self):
+        streams = RandomStreams(3)
+        items = list(range(20))
+        shuffled = streams.shuffle("s", items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # input untouched
+
+    def test_spawn_derives_child_registry(self):
+        parent = RandomStreams(7)
+        child_a = parent.spawn("child")
+        child_b = RandomStreams(7).spawn("child")
+        assert child_a.uniform("x", 0, 1) == child_b.uniform("x", 0, 1)
+        assert child_a.master_seed != parent.master_seed

@@ -1,0 +1,251 @@
+"""Unit tests for the storage substrate (database, persistence, filesystem)."""
+
+import pytest
+
+from repro.storage.database import (
+    ConnectionPool,
+    Database,
+    DatabaseError,
+    EmbeddedSQLEngine,
+    NetworkedSQLEngine,
+)
+from repro.storage.filesystem import FileContent, LocalFileSystem, StorageFullError
+from repro.storage.persistence import PersistenceManager, new_auid, reset_auid_counter
+
+
+class TestEngines:
+    def test_profiles(self):
+        mysql = NetworkedSQLEngine()
+        hsql = EmbeddedSQLEngine()
+        assert mysql.connection_cost_s > hsql.connection_cost_s
+        assert mysql.operation_cost_s > hsql.operation_cost_s
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkedSQLEngine(operation_cost_s=-1)
+
+
+class TestDatabaseFunctional:
+    def test_raw_insert_get_delete(self, env):
+        db = Database(env)
+        db.raw_insert("t", "k1", {"x": 1})
+        assert db.raw_get("t", "k1") == {"x": 1}
+        assert db.size("t") == 1
+        assert db.raw_delete("t", "k1")
+        assert not db.raw_delete("t", "k1")
+        assert db.raw_get("t", "k1") is None
+
+    def test_duplicate_insert_rejected(self, env):
+        db = Database(env)
+        db.raw_insert("t", "k", 1)
+        with pytest.raises(DatabaseError):
+            db.raw_insert("t", "k", 2)
+
+    def test_upsert_overwrites(self, env):
+        db = Database(env)
+        db.raw_upsert("t", "k", 1)
+        db.raw_upsert("t", "k", 2)
+        assert db.raw_get("t", "k") == 2
+
+    def test_query_with_predicate(self, env):
+        db = Database(env)
+        for i in range(10):
+            db.raw_insert("nums", str(i), i)
+        evens = db.raw_query("nums", lambda v: v % 2 == 0)
+        assert sorted(evens) == [0, 2, 4, 6, 8]
+        assert len(db.raw_query("nums")) == 10
+
+    def test_snapshot_isolation(self, env):
+        db = Database(env)
+        obj = {"nested": [1, 2, 3]}
+        db.raw_insert("t", "k", obj)
+        obj["nested"].append(4)
+        assert db.raw_get("t", "k") == {"nested": [1, 2, 3]}
+
+    def test_copy_objects_false_shares_reference(self, env):
+        db = Database(env, copy_objects=False)
+        obj = {"nested": [1]}
+        db.raw_insert("t", "k", obj)
+        obj["nested"].append(2)
+        assert db.raw_get("t", "k") == {"nested": [1, 2]}
+
+
+class TestDatabaseCosts:
+    def test_operation_pays_engine_costs_without_pool(self, env, drive):
+        engine = EmbeddedSQLEngine(operation_cost_s=0.1, connection_cost_s=0.05)
+        db = Database(env, engine=engine)
+        drive(env, db.insert("t", "k", 1))
+        assert env.now == pytest.approx(0.15)
+        assert db.operations == 1
+
+    def test_pool_amortises_connection_cost(self, env, drive):
+        engine = NetworkedSQLEngine(operation_cost_s=0.1, connection_cost_s=1.0)
+        pool = ConnectionPool(env, engine, size=2)
+        db = Database(env, engine=engine, pool=pool)
+
+        def client():
+            for i in range(3):
+                yield from db.insert("t", f"k{i}", i)
+
+        drive(env, client())
+        # One connection opened once (1.0) + three operations (0.3).
+        assert env.now == pytest.approx(1.3)
+        assert pool.connections_opened == 1
+
+    def test_database_serialises_concurrent_statements(self, env):
+        engine = EmbeddedSQLEngine(operation_cost_s=0.1, connection_cost_s=0.0)
+        db = Database(env, engine=engine)
+
+        def client(i):
+            yield from db.insert("t", f"k{i}", i)
+
+        procs = [env.process(client(i)) for i in range(5)]
+        env.run(until=env.all_of(procs))
+        assert env.now == pytest.approx(0.5)
+
+    def test_statement_multiplier(self, env, drive):
+        engine = EmbeddedSQLEngine(operation_cost_s=0.1, connection_cost_s=0.0)
+        db = Database(env, engine=engine)
+        drive(env, db.execute(lambda: None, statements=4))
+        assert env.now == pytest.approx(0.4)
+
+    def test_invalid_statements_rejected(self, env):
+        db = Database(env)
+        with pytest.raises(ValueError):
+            next(db.execute(lambda: None, statements=0))
+
+    def test_pool_validation(self, env):
+        with pytest.raises(ValueError):
+            ConnectionPool(env, EmbeddedSQLEngine(), size=0)
+
+
+class TestPersistence:
+    def test_auid_unique(self):
+        auids = {new_auid() for _ in range(100)}
+        assert len(auids) == 100
+
+    def test_auid_deterministic_with_label_after_reset(self):
+        reset_auid_counter()
+        first = [new_auid("x") for _ in range(3)]
+        reset_auid_counter()
+        second = [new_auid("x") for _ in range(3)]
+        assert first == second
+
+    def test_make_persistent_requires_uid(self, env):
+        pm = PersistenceManager(Database(env))
+
+        class Thing:
+            uid = ""
+
+        with pytest.raises(ValueError):
+            pm.make_persistent(Thing())
+
+    def test_round_trip_and_query(self, env):
+        pm = PersistenceManager(Database(env, copy_objects=False))
+
+        class Item:
+            def __init__(self, uid, value):
+                self.uid = uid
+                self.value = value
+
+        items = [Item(new_auid(), i) for i in range(5)]
+        for item in items:
+            pm.make_persistent(item)
+        assert pm.count(Item) == 5
+        assert pm.get_by_uid(Item, items[2].uid).value == 2
+        big = pm.query(Item, lambda it: it.value >= 3)
+        assert sorted(i.value for i in big) == [3, 4]
+        assert pm.delete_persistent(items[0])
+        assert pm.count(Item) == 4
+
+    def test_sim_variants_pay_cost(self, env, drive):
+        engine = EmbeddedSQLEngine(operation_cost_s=0.2, connection_cost_s=0.0)
+        pm = PersistenceManager(Database(env, engine=engine, copy_objects=False))
+
+        class Item:
+            def __init__(self):
+                self.uid = new_auid()
+
+        item = Item()
+        drive(env, pm.make_persistent_sim(item))
+        assert env.now == pytest.approx(0.2)
+        found = drive(env, pm.get_by_uid_sim(Item, item.uid))
+        assert found is item
+
+
+class TestFileContent:
+    def test_from_seed_is_deterministic(self):
+        a = FileContent.from_seed("f.bin", 10)
+        b = FileContent.from_seed("f.bin", 10)
+        assert a.checksum == b.checksum
+        assert a.verify(b)
+
+    def test_different_seed_different_checksum(self):
+        a = FileContent.from_seed("f.bin", 10, seed="one")
+        b = FileContent.from_seed("f.bin", 10, seed="two")
+        assert not a.verify(b)
+
+    def test_from_bytes(self):
+        content = FileContent.from_bytes("x.txt", b"hello world")
+        assert content.size_mb == pytest.approx(11 / (1024 * 1024))
+        assert content.payload == b"hello world"
+
+    def test_corrupted_copy_detected(self):
+        content = FileContent.from_seed("f.bin", 10)
+        assert not content.verify(content.corrupted())
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FileContent("f", -1, "abc")
+
+
+class TestLocalFileSystem:
+    def test_write_read_delete(self):
+        fs = LocalFileSystem()
+        content = FileContent.from_seed("a.bin", 5)
+        fs.write("dir/a.bin", content)
+        assert fs.exists("dir/a.bin")
+        assert "dir/a.bin" in fs
+        assert fs.read("dir/a.bin").verify(content)
+        assert fs.delete("dir/a.bin")
+        assert not fs.delete("dir/a.bin")
+        with pytest.raises(FileNotFoundError):
+            fs.read("dir/a.bin")
+
+    def test_capacity_enforced(self):
+        fs = LocalFileSystem(capacity_mb=10)
+        fs.write("a", FileContent.from_seed("a", 6))
+        with pytest.raises(StorageFullError):
+            fs.write("b", FileContent.from_seed("b", 6))
+        assert fs.used_mb == pytest.approx(6)
+        assert fs.free_mb == pytest.approx(4)
+
+    def test_overwrite_counts_delta(self):
+        fs = LocalFileSystem(capacity_mb=10)
+        fs.write("a", FileContent.from_seed("a", 8))
+        # Overwriting with a smaller file must succeed.
+        fs.write("a", FileContent.from_seed("a-small", 2))
+        assert fs.used_mb == pytest.approx(2)
+
+    def test_purge(self):
+        fs = LocalFileSystem()
+        for i in range(4):
+            fs.write(f"f{i}", FileContent.from_seed(f"f{i}", 1))
+        assert len(fs) == 4
+        assert fs.purge() == 4
+        assert len(fs) == 0
+
+    def test_list_paths_sorted(self):
+        fs = LocalFileSystem()
+        for name in ("b", "a", "c"):
+            fs.write(name, FileContent.from_seed(name, 1))
+        assert fs.list_paths() == ["a", "b", "c"]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LocalFileSystem(capacity_mb=0)
+
+    def test_fits(self):
+        fs = LocalFileSystem(capacity_mb=5)
+        assert fs.fits(FileContent.from_seed("x", 5))
+        assert not fs.fits(FileContent.from_seed("x", 6))
