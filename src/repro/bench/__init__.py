@@ -19,6 +19,8 @@ Figure 3b/3c   :func:`repro.bench.transfer.run_fig3bc`
 Figure 4       :func:`repro.bench.fault.run_fig4`
 Figure 5       :func:`repro.bench.blast.run_fig5`
 Figure 6       :func:`repro.bench.blast.run_fig6`
+Scale (BENCH)  :func:`repro.bench.scale.run_sync_storm` /
+               :func:`repro.bench.scale.run_scale_grid`
 =============  ==========================================================
 """
 
@@ -32,9 +34,15 @@ from repro.bench.transfer import (
 from repro.bench.fault import run_fig4
 from repro.bench.blast import run_fig5, run_fig6
 from repro.bench.reporting import format_table, shape_check
+from repro.bench.scale import (
+    run_completion_curve,
+    run_scale_grid,
+    run_sync_storm,
+)
 
 __all__ = [
     "format_table",
+    "run_completion_curve",
     "run_distribution",
     "run_fig3a",
     "run_fig3bc",
@@ -42,6 +50,8 @@ __all__ = [
     "run_fig5",
     "run_fig6",
     "run_ftp_alone",
+    "run_scale_grid",
+    "run_sync_storm",
     "run_table2",
     "run_table2_cell",
     "run_table3",

@@ -1,0 +1,216 @@
+"""Scaling benchmarks beyond the paper's grids.
+
+The paper stops at 275 workers (Fig. 5) and a few hundred data items; the
+ROADMAP's north star is production scale.  This harness stresses exactly the
+two hot paths the O(active)-work refactor targets:
+
+* :func:`run_sync_storm` — N workers all starting a download from the same
+  file server at the same instant (the worst case for per-event global
+  bandwidth re-allocation), repeated for several rounds.  Runs with a
+  selectable allocator (``dense`` = the reference full-recompute
+  implementation, ``incremental`` = coalesced incremental allocation) so the
+  two can be compared on identical scenarios: simulated completion times
+  must match exactly, wall-clock must not.
+
+* :func:`run_completion_curve` — the Fig. 3a FTP shape at scale: with the
+  server uplink as the bottleneck, completion time must keep growing
+  linearly with the worker count well past the paper's 250 nodes.
+
+* :func:`run_scale_grid` — the full runtime at ≥1000 hosts × ≥5000 data
+  items: data is scheduled with a replica target, every host synchronises
+  in batched storms (:meth:`BitDewEnvironment.kick_sync`), downloads flow
+  through the DC/DR/DT protocol stack, and the indexed Data Scheduler must
+  place every datum without ever scanning all of Θ.
+
+Each function returns a plain metrics dict; ``benchmarks/test_scale_grid.py``
+asserts the curve shapes and records the numbers as a BENCH trajectory
+point in ``BENCH.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.attributes import Attribute
+from repro.core.data import Data
+from repro.core.runtime import BitDewEnvironment
+from repro.net.flows import Network
+from repro.net.host import Host
+from repro.net.topology import cluster_topology
+from repro.sim.kernel import Environment
+from repro.storage.filesystem import FileContent
+
+__all__ = ["run_completion_curve", "run_scale_grid", "run_sync_storm"]
+
+
+def run_sync_storm(
+    n_workers: int = 500,
+    rounds: int = 2,
+    size_mb: float = 5.0,
+    allocator: str = "incremental",
+    coalesce: bool = True,
+    server_link_mbps: float = 1000.0,
+    node_link_mbps: float = 10.0,
+    latency_s: float = 0.001,
+) -> Dict[str, object]:
+    """N simultaneous downloads from one server, ``rounds`` times over.
+
+    Aggregate worker demand (``n_workers * node_link_mbps``) should exceed
+    the server uplink so every flow shares one bottleneck — the regime of
+    the paper's FTP distribution experiments.
+    """
+    if n_workers <= 0 or rounds <= 0:
+        raise ValueError("n_workers and rounds must be positive")
+    env = Environment()
+    network = Network(env, default_latency_s=latency_s,
+                      allocator=allocator, coalesce=coalesce)
+    server = network.add_host(Host(
+        "server", uplink_mbps=server_link_mbps,
+        downlink_mbps=server_link_mbps, stable=True))
+    workers = [
+        network.add_host(Host(f"w{i:04d}", uplink_mbps=node_link_mbps,
+                              downlink_mbps=node_link_mbps))
+        for i in range(n_workers)
+    ]
+    # Leave slack between rounds so each storm drains before the next hits.
+    round_gap = (n_workers * size_mb) / server_link_mbps * 1.5 + 1.0
+    flows: List = []
+
+    def start_round(_evt, r: int) -> None:
+        for worker in workers:
+            flows.append(network.transfer(server, worker, size_mb,
+                                          label=f"round-{r}"))
+
+    for r in range(rounds):
+        env.timeout(r * round_gap).add_callback(
+            lambda evt, r=r: start_round(evt, r))
+
+    wall_start = time.perf_counter()
+    env.run()
+    wall_s = time.perf_counter() - wall_start
+    end_times = [flow.end_time for flow in flows]
+    return {
+        "scenario": "sync-storm",
+        "n_workers": n_workers,
+        "rounds": rounds,
+        "size_mb": size_mb,
+        "allocator": allocator,
+        "coalesce": coalesce,
+        "wall_s": wall_s,
+        "sim_completion_s": max(end_times),
+        "end_times": end_times,
+        "completed_flows": network.completed_flows,
+        "allocation_passes": network.allocation_passes,
+        "recompute_requests": network.recompute_requests,
+        "processed_events": env.processed_events,
+    }
+
+
+def run_completion_curve(
+    worker_counts: Sequence[int] = (250, 500, 1000),
+    size_mb: float = 2.0,
+    server_link_mbps: float = 1000.0,
+    node_link_mbps: float = 10.0,
+) -> List[Dict[str, object]]:
+    """Completion time vs worker count with a server-uplink bottleneck."""
+    rows: List[Dict[str, object]] = []
+    for n_workers in worker_counts:
+        metrics = run_sync_storm(n_workers=n_workers, rounds=1,
+                                 size_mb=size_mb,
+                                 server_link_mbps=server_link_mbps,
+                                 node_link_mbps=node_link_mbps)
+        rows.append({
+            "n_workers": n_workers,
+            "sim_completion_s": metrics["sim_completion_s"],
+            "wall_s": metrics["wall_s"],
+            "allocation_passes": metrics["allocation_passes"],
+        })
+    return rows
+
+
+def run_scale_grid(
+    n_hosts: int = 1000,
+    n_data: int = 5000,
+    replica: int = 1,
+    size_mb: float = 0.2,
+    max_data_schedule: int = 8,
+    sync_rounds: int = 3,
+    monitor_period_s: float = 5.0,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Sync+transfer storm through the full runtime at production scale.
+
+    ``n_data`` data items are created on the service host and scheduled with
+    a replica target; ``n_hosts`` reservoir hosts then synchronise in
+    simultaneous batches until everything is placed and downloaded.
+    """
+    if n_hosts <= 0 or n_data <= 0:
+        raise ValueError("n_hosts and n_data must be positive")
+    wall_start = time.perf_counter()
+    env = Environment()
+    topo = cluster_topology(env, n_workers=n_hosts,
+                            server_link_mbps=1000.0, node_link_mbps=125.0)
+    runtime = BitDewEnvironment(
+        topo,
+        sync_period_s=3600.0,          # pull loops are driven by kick_sync
+        monitor_period_s=monitor_period_s,
+        heartbeat_period_s=3600.0,
+        max_data_schedule=max_data_schedule,
+        seed=seed,
+    )
+    scheduler = runtime.data_scheduler
+    repository = runtime.container.data_repository
+    catalog = runtime.container.data_catalog
+
+    attribute = Attribute(name="grid", replica=replica, protocol="http")
+    datas: List[Data] = []
+    for i in range(n_data):
+        content = FileContent.from_seed(f"grid-{i:05d}", size_mb)
+        data = Data.from_content(content)
+        locator = repository.store_now(data, content)
+        catalog.add_locator_now(locator)
+        scheduler.schedule(data, attribute)
+        datas.append(data)
+    setup_wall_s = time.perf_counter() - wall_start
+
+    runtime.attach_all(auto_sync=False)
+    examined_before = scheduler.entries_examined
+    storm_walls: List[float] = []
+    for _round in range(sync_rounds):
+        storm_start = time.perf_counter()
+        done = runtime.kick_sync()
+        env.run(until=done)
+        storm_walls.append(time.perf_counter() - storm_start)
+
+    placed = sum(
+        1 for data in datas
+        if len(scheduler.owners_of(data.uid)) >= min(replica, n_hosts))
+    downloaded = sum(
+        1 for agent in runtime.agents.values()
+        for uid in agent.cached_uids()
+        if agent.has_content(uid))
+    wall_s = time.perf_counter() - wall_start
+    network = topo.network
+    return {
+        "scenario": "scale-grid",
+        "n_hosts": n_hosts,
+        "n_data": n_data,
+        "replica": replica,
+        "size_mb": size_mb,
+        "sync_rounds": sync_rounds,
+        "placed": placed,
+        "downloaded": downloaded,
+        "sim_time_s": env.now,
+        "wall_s": wall_s,
+        "setup_wall_s": setup_wall_s,
+        "storm_walls_s": storm_walls,
+        "sync_count": scheduler.sync_count,
+        "assignments": scheduler.assignments,
+        "entries_examined": scheduler.entries_examined - examined_before,
+        "managed_count": scheduler.managed_count,
+        "allocation_passes": network.allocation_passes,
+        "recompute_requests": network.recompute_requests,
+        "completed_flows": network.completed_flows,
+        "processed_events": env.processed_events,
+    }

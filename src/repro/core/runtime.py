@@ -356,6 +356,17 @@ class HostAgent:
         self.event_bus.dispatch(DataEventType.COPY, data, attr, self.env.now)
         return True
 
+    def sync_now(self):
+        """Kick one immediate synchronisation; returns its Process.
+
+        Used by the scaling scenarios to model a *sync storm*: many hosts
+        synchronising at the same instant.  The resulting burst of transfer
+        starts lands on the same timestamp, so the network settles its
+        bandwidth allocation once for the whole batch instead of once per
+        flow.
+        """
+        return self.env.process(self.sync_once())
+
     def _sync_loop(self):
         while self._running:
             if not self.host.online:
@@ -487,6 +498,23 @@ class BitDewEnvironment:
             agent.stop()
             self.ddc.leave(host.name)
             self.container.failure_detector.forget(host.name)
+
+    def kick_sync(self, hosts: Optional[List[Host]] = None):
+        """Trigger a simultaneous synchronisation of many attached hosts.
+
+        Returns an event that triggers once every kicked synchronisation
+        (and the downloads it started) has finished.  This is the batched
+        counterpart of the periodic per-host pull loop: all requests hit the
+        Data Scheduler at the same simulated instant and the flow network
+        coalesces the resulting transfer storm into single allocation passes.
+        """
+        if hosts is None:
+            agents = list(self.agents.values())
+        else:
+            agents = [self.agent(h) for h in hosts]
+        # Offline hosts cannot sync; including one would fail the whole batch.
+        agents = [a for a in agents if a.host.online]
+        return self.env.all_of([agent.sync_now() for agent in agents])
 
     def agent(self, host_or_name) -> HostAgent:
         name = host_or_name.name if isinstance(host_or_name, Host) else host_or_name

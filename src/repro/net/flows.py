@@ -12,12 +12,26 @@ capacity constraints:
   topology of Table 1 is modelled.
 
 Whenever the set of active flows changes (a flow starts, finishes, or is
-aborted because a host failed) the allocation is recomputed and the next
-completion is rescheduled.  This is the standard flow-level approximation
-used by grid simulators; it captures the first-order effect the paper's
-transfer experiments measure — the file server's uplink is the bottleneck for
-FTP-style distribution, so completion time grows with the number of
-concurrent downloaders, while a swarm protocol spreads load over all peers.
+aborted because a host failed) the allocation must be recomputed and the
+next completion rescheduled.  Two design decisions keep that hot path
+proportional to what changed rather than to global state:
+
+* **Coalescing** — a flow arrival/departure marks the network *dirty* and
+  the allocation settles exactly once per timestamp via the kernel's
+  same-time settle hook.  A synchronisation storm in which hundreds of
+  workers start downloads at the same instant therefore triggers a single
+  allocation pass instead of one full recompute per flow.  Rates are only
+  consumed when simulated time advances, so deferring the pass to the end
+  of the timestamp is observationally identical.
+* **Allocator strategies** — the actual max-min computation lives in
+  :mod:`repro.net.allocation`; the default :class:`IncrementalAllocator`
+  maintains constraint membership across events, the reference
+  :class:`DenseAllocator` rebuilds everything per pass (the two are
+  equivalence-tested against each other).
+
+The next-completion wake-up uses a cancellable kernel :class:`Timer`
+instead of the earlier stale-token pattern, so superseded wake-ups are
+dropped from the heap lazily instead of firing as no-ops.
 
 Control-plane traffic (the BitDew protocol's heartbeats and transfer-monitor
 messages, §4.3 of the paper) is modelled as *background load*: a reserved
@@ -31,7 +45,8 @@ import itertools
 import math
 from typing import Dict, List, Optional, Tuple
 
-from repro.sim.kernel import Environment, Event
+from repro.sim.kernel import Environment, Event, Timer
+from repro.net.allocation import make_allocator
 from repro.net.host import Host
 
 __all__ = ["Flow", "Network", "TransferFailed"]
@@ -106,26 +121,13 @@ class Flow:
         )
 
 
-class _Constraint:
-    """A capacity constraint over a set of flows (one link direction)."""
-
-    __slots__ = ("key", "capacity", "reserved")
-
-    def __init__(self, key: Tuple, capacity: float):
-        self.key = key
-        self.capacity = capacity
-        self.reserved = 0.0
-
-    @property
-    def effective_capacity(self) -> float:
-        return max(0.0, self.capacity - self.reserved)
-
-
 class Network:
     """The flow network: registers hosts, runs transfers, shares bandwidth."""
 
     def __init__(self, env: Environment, default_latency_s: float = 0.001,
-                 wan_latency_s: float = 0.01):
+                 wan_latency_s: float = 0.01,
+                 allocator: str = "incremental",
+                 coalesce: bool = True):
         self.env = env
         self.default_latency_s = float(default_latency_s)
         self.wan_latency_s = float(wan_latency_s)
@@ -137,11 +139,23 @@ class Network:
         #: background (reserved) rates per constraint key.
         self._background: Dict[Tuple, float] = {}
         self._last_update = env.now
-        self._wake_token = 0
+        self._allocator = make_allocator(allocator)
+        self._allocator.gateways = self._cluster_gateways
+        self._coalesce = bool(coalesce)
+        self._settle_pending = False
+        self._completion_timer: Optional[Timer] = None
         #: statistics
         self.completed_flows = 0
         self.failed_flows = 0
         self.total_mb_delivered = 0.0
+        #: number of full allocation passes actually run (benchmark metric)
+        self.allocation_passes = 0
+        #: number of events that requested a re-allocation
+        self.recompute_requests = 0
+
+    @property
+    def allocator_name(self) -> str:
+        return self._allocator.name
 
     # -- topology ------------------------------------------------------------
     def add_host(self, host: Host) -> Host:
@@ -163,6 +177,8 @@ class Network:
         if ingress <= 0:
             raise ValueError("ingress capacity must be positive")
         self._cluster_gateways[cluster] = (float(egress_mbps), float(ingress))
+        # Gateway changes can alter which constraints existing flows cross.
+        self._allocator.rebuild(self._active)
         self._recompute()
 
     # -- background load -----------------------------------------------------
@@ -237,8 +253,8 @@ class Network:
             if not flow.src.online or not flow.dst.online:
                 self._fail_flow(flow, "endpoint offline")
                 return
-            self._advance()
             self._active.append(flow)
+            self._allocator.flow_added(flow)
             self._recompute()
 
         self.env.timeout(latency).add_callback(_activate)
@@ -269,6 +285,7 @@ class Network:
         flow.end_time = self.env.now
         if flow in self._active:
             self._active.remove(flow)
+            self._allocator.flow_removed(flow)
         self._pending_latency.pop(flow.fid, None)
         self.failed_flows += 1
         if not flow.done.triggered:
@@ -278,88 +295,6 @@ class Network:
             flow.done.defused = True
 
     # -- bandwidth sharing -------------------------------------------------------
-    def _build_constraints(self) -> Tuple[Dict[Tuple, _Constraint], Dict[int, List[Tuple]]]:
-        constraints: Dict[Tuple, _Constraint] = {}
-        membership: Dict[int, List[Tuple]] = {}
-
-        def constraint(key: Tuple, capacity: float) -> _Constraint:
-            con = constraints.get(key)
-            if con is None:
-                con = _Constraint(key, capacity)
-                con.reserved = self._background.get(key, 0.0)
-                constraints[key] = con
-            return con
-
-        for flow in self._active:
-            keys = []
-            if flow.rate_cap_mbps is not None:
-                cap_key = ("flow-cap", flow.fid)
-                constraint(cap_key, flow.rate_cap_mbps)
-                keys.append(cap_key)
-            up_key = ("host-up", flow.src.uid)
-            constraint(up_key, flow.src.uplink_mbps)
-            keys.append(up_key)
-            down_key = ("host-down", flow.dst.uid)
-            constraint(down_key, flow.dst.downlink_mbps)
-            keys.append(down_key)
-            if flow.src.cluster != flow.dst.cluster:
-                egress = self._cluster_gateways.get(flow.src.cluster)
-                if egress is not None:
-                    key = ("wan-egress", flow.src.cluster)
-                    constraint(key, egress[0])
-                    keys.append(key)
-                ingress = self._cluster_gateways.get(flow.dst.cluster)
-                if ingress is not None:
-                    key = ("wan-ingress", flow.dst.cluster)
-                    constraint(key, ingress[1])
-                    keys.append(key)
-            membership[flow.fid] = keys
-        return constraints, membership
-
-    def _allocate_rates(self) -> None:
-        """Max-min fair allocation via progressive filling."""
-        if not self._active:
-            return
-        constraints, membership = self._build_constraints()
-        remaining_capacity = {
-            key: con.effective_capacity for key, con in constraints.items()
-        }
-        unfixed = {flow.fid: flow for flow in self._active}
-        rates: Dict[int, float] = {}
-
-        while unfixed:
-            # For each constraint, the fair share available to its unfixed flows.
-            best_share = math.inf
-            best_key = None
-            counts: Dict[Tuple, int] = {}
-            for fid in unfixed:
-                for key in membership[fid]:
-                    counts[key] = counts.get(key, 0) + 1
-            if not counts:
-                break
-            for key, count in counts.items():
-                share = remaining_capacity[key] / count
-                if share < best_share:
-                    best_share = share
-                    best_key = key
-            if best_key is None:  # pragma: no cover - defensive
-                break
-            best_share = max(0.0, best_share)
-            # Fix every unfixed flow crossing the bottleneck constraint.
-            fixed_now = [
-                fid for fid in unfixed if best_key in membership[fid]
-            ]
-            for fid in fixed_now:
-                rates[fid] = best_share
-                for key in membership[fid]:
-                    remaining_capacity[key] = max(
-                        0.0, remaining_capacity[key] - best_share
-                    )
-                del unfixed[fid]
-
-        for flow in self._active:
-            flow.rate_mbps = rates.get(flow.fid, 0.0)
-
     def _advance(self) -> None:
         """Progress all active flows from the last update time to now."""
         now = self.env.now
@@ -370,7 +305,25 @@ class Network:
         self._last_update = now
 
     def _recompute(self) -> None:
-        """Re-allocate rates and schedule the next completion wake-up."""
+        """Request a re-allocation of rates.
+
+        With coalescing (the default) the request marks the network dirty
+        and the allocation settles once at the end of the current timestamp;
+        without it, the pass runs immediately (the reference behaviour, one
+        full recompute per flow event).
+        """
+        self.recompute_requests += 1
+        if not self._coalesce:
+            self._settle()
+            return
+        if self._settle_pending:
+            return
+        self._settle_pending = True
+        self.env.settle(self._settle)
+
+    def _settle(self, _evt: Optional[Event] = None) -> None:
+        """One allocation pass: advance, complete, re-allocate, re-arm timer."""
+        self._settle_pending = False
         # Bring every flow's remaining volume up to date before re-allocating
         # (idempotent: _advance() is a no-op when already at the current time).
         self._advance()
@@ -378,17 +331,26 @@ class Network:
         finished = [f for f in self._active if f.remaining_mb <= 1e-9]
         for flow in finished:
             self._active.remove(flow)
+            self._allocator.flow_removed(flow)
             flow.remaining_mb = 0.0
             flow.end_time = self.env.now
             self.completed_flows += 1
             self.total_mb_delivered += flow.size_mb
             flow.done.succeed(flow)
 
-        self._allocate_rates()
-        self._wake_token += 1
+        self.allocation_passes += 1
+        rates = self._allocator.allocate(self._active, self._background)
+        for flow in self._active:
+            flow.rate_mbps = rates.get(flow.fid, 0.0)
+        self._reschedule_completion()
+
+    def _reschedule_completion(self) -> None:
+        """Point the (single, cancellable) wake-up timer at the next completion."""
+        if self._completion_timer is not None:
+            self._completion_timer.cancel()
+            self._completion_timer = None
         if not self._active:
             return
-        token = self._wake_token
         horizon = math.inf
         for flow in self._active:
             if flow.rate_mbps > _EPSILON:
@@ -397,12 +359,9 @@ class Network:
             # All active flows are starved (zero capacity); nothing to schedule —
             # a topology/background change will trigger a new recompute.
             return
-        horizon = max(horizon, 0.0)
+        self._completion_timer = self.env.call_later(max(horizon, 0.0),
+                                                     self._on_completion_timer)
 
-        def _wake(_evt, token=token):
-            if token != self._wake_token:
-                return  # superseded by a more recent recompute
-            self._advance()
-            self._recompute()
-
-        self.env.timeout(horizon).add_callback(_wake)
+    def _on_completion_timer(self, _evt: Event) -> None:
+        self._completion_timer = None
+        self._recompute()

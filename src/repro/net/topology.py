@@ -114,6 +114,8 @@ def cluster_topology(
     server_link_mbps: float = 125.0,
     cpu_factor: float = 1.0,
     lan_latency_s: float = 0.0002,
+    allocator: str = "incremental",
+    coalesce: bool = True,
 ) -> Topology:
     """A single LAN cluster: one stable service/file-server node + workers.
 
@@ -124,7 +126,8 @@ def cluster_topology(
     """
     if n_workers < 0:
         raise ValueError("n_workers must be non-negative")
-    network = Network(env, default_latency_s=lan_latency_s)
+    network = Network(env, default_latency_s=lan_latency_s,
+                      allocator=allocator, coalesce=coalesce)
     server = Host(
         f"{cluster}-service", cluster=cluster,
         uplink_mbps=server_link_mbps, downlink_mbps=server_link_mbps,
@@ -150,6 +153,8 @@ def grid5000_testbed(
     total_nodes: Optional[int] = None,
     service_cluster: str = "gdx",
     wan_latency_s: float = 0.01,
+    allocator: str = "incremental",
+    coalesce: bool = True,
 ) -> Topology:
     """The 4-cluster Grid'5000 testbed of Table 1.
 
@@ -171,7 +176,8 @@ def grid5000_testbed(
     if unknown:
         raise ValueError(f"unknown clusters: {sorted(unknown)}")
 
-    network = Network(env, default_latency_s=0.0002, wan_latency_s=wan_latency_s)
+    network = Network(env, default_latency_s=0.0002, wan_latency_s=wan_latency_s,
+                      allocator=allocator, coalesce=coalesce)
     spec0 = GRID5000_CLUSTERS[service_cluster]
     server = Host(
         f"{service_cluster}-service", cluster=service_cluster,
@@ -206,6 +212,8 @@ def dsl_lab_topology(
     max_down_mbps: float = 0.50,
     uplink_fraction: float = 0.25,
     adsl_latency_s: float = 0.03,
+    allocator: str = "incremental",
+    coalesce: bool = True,
 ) -> Topology:
     """The DSL-Lab broadband platform (§4.1, §4.4).
 
@@ -219,7 +227,8 @@ def dsl_lab_topology(
     if rng is None:
         rng = RandomStreams(42)
     network = Network(env, default_latency_s=adsl_latency_s,
-                      wan_latency_s=adsl_latency_s)
+                      wan_latency_s=adsl_latency_s,
+                      allocator=allocator, coalesce=coalesce)
     server = Host(
         "dsl-service", cluster="dsl-server",
         uplink_mbps=5.0, downlink_mbps=5.0, cpu_factor=1.0, stable=True,

@@ -2,10 +2,9 @@
 
 The DS owns the *data-driven* scheduling of BitDew: reservoir hosts
 periodically synchronise with it, presenting the set of data held in their
-local cache (Δk); the DS scans the data under its management (Θ) and
-returns the new cache content (Ψk).  The host then deletes obsolete data
-(Δk \\ Ψk), keeps validated data (Δk ∩ Ψk) and downloads newly assigned
-data (Ψk \\ Δk).
+local cache (Δk); the DS decides the new cache content (Ψk).  The host then
+deletes obsolete data (Δk \\ Ψk), keeps validated data (Δk ∩ Ψk) and
+downloads newly assigned data (Ψk \\ Δk).
 
 Scheduling decisions follow the paper's attributes:
 
@@ -22,6 +21,30 @@ Scheduling decisions follow the paper's attributes:
   host is down, §3.2);
 * at most ``max_data_schedule`` new data are assigned per synchronisation.
 
+**Indexing.**  The naive reading of Algorithm 1 scans all of Θ on every
+synchronisation and resolves affinity references with a linear search.  This
+implementation instead maintains reverse indexes so per-sync work is
+proportional to what is actually assignable:
+
+* ``name → uids`` and ``attribute-name → uids`` make reference resolution
+  (affinity, relative lifetime) O(1) per lookup;
+* ``reference → dependent uids`` maps (affinity and relative-lifetime
+  dependents) turn "which data follows the data this host holds?" into a
+  set union over the host's cache instead of a scan over Θ;
+* a **replica-deficit set** holds exactly the non-affinity data whose owner
+  count is below its replica target (or that replicates to all), i.e. the
+  data assignable by the replica rule;
+* an ``owner → uids`` index makes the failure-detector callback O(data
+  owned by the failed host);
+* a **lifetime-expiry heap** (plus an unresolved-reference set maintained
+  incrementally) lets :meth:`expire_lifetimes` drop exactly the expired
+  entries and cascade through relative-lifetime dependents with a worklist,
+  instead of rescanning Θ to a fixpoint.
+
+``compute_schedule`` walks a candidate heap in Θ-insertion order, so its
+decisions — including the one-forward-pass treatment of affinity chains —
+are identical to the reference full-scan implementation.
+
 Note: line 21 of the paper's pseudo-code reads ``replica < |Ω|``; given the
 prose ("schedule new data transfers to hosts if the number of owners is less
 than the number of replica") this is a typo for ``|Ω| < replica``, which is
@@ -30,6 +53,8 @@ what this implementation does.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -54,6 +79,10 @@ class ScheduledEntry:
     owners: Set[str] = field(default_factory=set)
     #: hosts that pinned the datum (it must stay with them; never reclaimed)
     pinned_on: Set[str] = field(default_factory=set)
+    #: Θ-insertion sequence number; preserves the reference scan order
+    seq: int = 0
+    #: bumped when the attribute is replaced (invalidates expiry-heap rows)
+    generation: int = 0
 
     @property
     def uid(self) -> str:
@@ -92,14 +121,165 @@ class DataSchedulerService:
             self.failure_detector.on_failure(self._on_host_failure)
         self.max_data_schedule = int(max_data_schedule)
         self.sync_cost_statements = int(sync_cost_statements)
-        #: Θ: uid -> entry
+        #: Θ: uid -> entry (insertion-ordered)
         self._entries: Dict[str, ScheduledEntry] = {}
+        self._seq = itertools.count()
         #: per-host cache view from the last synchronisation
         self._host_caches: Dict[str, Set[str]] = {}
+        # -- reverse indexes over Θ ----------------------------------------
+        #: data name -> uids
+        self._by_name: Dict[str, Set[str]] = {}
+        #: attribute name -> uids
+        self._by_attr: Dict[str, Set[str]] = {}
+        #: host name -> uids the host owns
+        self._owner_index: Dict[str, Set[str]] = {}
+        #: non-affinity uids assignable by the replica rule
+        self._replica_deficit: Set[str] = set()
+        #: the deficit ordered by Θ position: (seq, uid) rows with lazy
+        #: deletion, so one sync pops only the candidates it examines
+        #: instead of ordering the whole deficit set
+        self._deficit_heap: List[Tuple[int, str]] = []
+        #: affinity reference -> uids whose attribute.affinity names it
+        self._affinity_dependents: Dict[str, Set[str]] = {}
+        #: lifetime reference -> uids whose relative_lifetime names it
+        self._lifetime_dependents: Dict[str, Set[str]] = {}
+        #: uids whose relative-lifetime reference currently resolves to nothing
+        self._unresolved: Set[str] = set()
+        #: (expire_at, seq, uid, generation) rows; validated lazily on pop
+        self._expiry_heap: List[Tuple[float, int, str, int]] = []
         #: statistics
         self.sync_count = 0
         self.assignments = 0
         self.repairs_triggered = 0
+        #: Θ-entries examined during step 2 of compute_schedule (the scan the
+        #: indexes are meant to shrink; scheduler tests pin this)
+        self.entries_examined = 0
+
+    # ------------------------------------------------------------------ indexing
+    def _reference_resolves(self, reference: str) -> bool:
+        """True if *reference* designates at least one managed entry."""
+        return bool(reference in self._entries
+                    or self._by_name.get(reference)
+                    or self._by_attr.get(reference))
+
+    def _mark_unresolved_dependents(self, reference: str) -> None:
+        """A provider of *reference* disappeared; re-check its dependents."""
+        deps = self._lifetime_dependents.get(reference)
+        if not deps or self._reference_resolves(reference):
+            return
+        for dep_uid in deps:
+            if dep_uid in self._entries:
+                self._unresolved.add(dep_uid)
+
+    def _resolve_dependents(self, reference: str) -> None:
+        """A provider of *reference* appeared; its dependents resolve again."""
+        deps = self._lifetime_dependents.get(reference)
+        if not deps:
+            return
+        self._unresolved.difference_update(deps)
+        for dep_uid in deps:
+            # A dependent evicted from the deficit while its reference was
+            # dangling becomes assignable again.
+            entry = self._entries.get(dep_uid)
+            if entry is not None:
+                self._update_deficit(entry)
+
+    def _update_deficit(self, entry: ScheduledEntry) -> None:
+        attr = entry.attribute
+        assignable = (not attr.has_affinity) and (
+            attr.replicate_to_all or len(entry.owners) < attr.replica)
+        uid = entry.uid
+        if assignable:
+            if uid not in self._replica_deficit:
+                self._replica_deficit.add(uid)
+                heapq.heappush(self._deficit_heap, (entry.seq, uid))
+        else:
+            self._replica_deficit.discard(uid)
+
+    def _attach_attribute(self, entry: ScheduledEntry) -> None:
+        """Index the attribute-derived facts of *entry* (call after setting it)."""
+        uid = entry.uid
+        attr = entry.attribute
+        self._by_attr.setdefault(attr.name, set()).add(uid)
+        # The new attribute name may satisfy dangling relative lifetimes.
+        self._resolve_dependents(attr.name)
+        if attr.has_affinity:
+            self._affinity_dependents.setdefault(attr.affinity, set()).add(uid)
+        if attr.relative_lifetime is not None:
+            self._lifetime_dependents.setdefault(
+                attr.relative_lifetime, set()).add(uid)
+            if not self._reference_resolves(attr.relative_lifetime):
+                self._unresolved.add(uid)
+        if attr.absolute_lifetime is not None:
+            heapq.heappush(self._expiry_heap,
+                           (entry.scheduled_at + attr.absolute_lifetime,
+                            entry.seq, uid, entry.generation))
+        self._update_deficit(entry)
+
+    def _detach_attribute(self, entry: ScheduledEntry) -> None:
+        """Un-index the attribute-derived facts of *entry*."""
+        uid = entry.uid
+        attr = entry.attribute
+        holders = self._by_attr.get(attr.name)
+        if holders is not None:
+            holders.discard(uid)
+            if not holders:
+                del self._by_attr[attr.name]
+        self._mark_unresolved_dependents(attr.name)
+        if attr.has_affinity:
+            deps = self._affinity_dependents.get(attr.affinity)
+            if deps is not None:
+                deps.discard(uid)
+                if not deps:
+                    del self._affinity_dependents[attr.affinity]
+        if attr.relative_lifetime is not None:
+            deps = self._lifetime_dependents.get(attr.relative_lifetime)
+            if deps is not None:
+                deps.discard(uid)
+                if not deps:
+                    del self._lifetime_dependents[attr.relative_lifetime]
+        self._unresolved.discard(uid)
+        self._replica_deficit.discard(uid)
+        entry.generation += 1   # expiry-heap rows for the old attribute die
+
+    def _remove_entry(self, uid: str) -> Optional[ScheduledEntry]:
+        entry = self._entries.pop(uid, None)
+        if entry is None:
+            return None
+        self._detach_attribute(entry)
+        holders = self._by_name.get(entry.data.name)
+        if holders is not None:
+            holders.discard(uid)
+            if not holders:
+                del self._by_name[entry.data.name]
+        for host in entry.owners:
+            owned = self._owner_index.get(host)
+            if owned is not None:
+                owned.discard(uid)
+                if not owned:
+                    del self._owner_index[host]
+        # References this entry provided may now be dangling.
+        self._mark_unresolved_dependents(uid)
+        self._mark_unresolved_dependents(entry.data.name)
+        return entry
+
+    def _add_owner(self, entry: ScheduledEntry, host_name: str) -> None:
+        if host_name in entry.owners:
+            return
+        entry.owners.add(host_name)
+        self._owner_index.setdefault(host_name, set()).add(entry.uid)
+        self._update_deficit(entry)
+
+    def _remove_owner(self, entry: ScheduledEntry, host_name: str) -> None:
+        if host_name not in entry.owners:
+            return
+        entry.owners.discard(host_name)
+        owned = self._owner_index.get(host_name)
+        if owned is not None:
+            owned.discard(entry.uid)
+            if not owned:
+                del self._owner_index[host_name]
+        self._update_deficit(entry)
 
     # ------------------------------------------------------------------ Θ management
     def schedule(self, data: Data, attribute: Optional[Attribute] = None) -> ScheduledEntry:
@@ -108,10 +288,18 @@ class DataSchedulerService:
         entry = self._entries.get(data.uid)
         if entry is None:
             entry = ScheduledEntry(data=data, attribute=attr,
-                                   scheduled_at=self.env.now)
+                                   scheduled_at=self.env.now,
+                                   seq=next(self._seq))
             self._entries[data.uid] = entry
+            self._by_name.setdefault(data.name, set()).add(data.uid)
+            # A new provider may satisfy dangling relative lifetimes.
+            self._resolve_dependents(data.uid)
+            self._resolve_dependents(data.name)
+            self._attach_attribute(entry)
         else:
+            self._detach_attribute(entry)
             entry.attribute = attr
+            self._attach_attribute(entry)
         if self.database is not None:
             self.database.raw_upsert("ds.entries", data.uid, {
                 "data": data, "attribute": attr, "at": self.env.now})
@@ -122,12 +310,12 @@ class DataSchedulerService:
         """Schedule *data* and record that *host_name* owns it (paper §3.3)."""
         entry = self.schedule(data, attribute)
         entry.pinned_on.add(host_name)
-        entry.owners.add(host_name)
+        self._add_owner(entry, host_name)
         return entry
 
     def unschedule(self, data_uid: str) -> bool:
         """Remove a datum from management; hosts drop it at their next sync."""
-        removed = self._entries.pop(data_uid, None)
+        removed = self._remove_entry(data_uid)
         if self.database is not None:
             self.database.raw_delete("ds.entries", data_uid)
         return removed is not None
@@ -153,49 +341,79 @@ class DataSchedulerService:
             if self.env.now > entry.scheduled_at + attr.absolute_lifetime:
                 return False
         if attr.relative_lifetime is not None:
-            if self._resolve_reference(attr.relative_lifetime) is None:
+            if not self._reference_resolves(attr.relative_lifetime):
                 return False
         return True
-
-    def _resolve_reference(self, reference: str) -> Optional[ScheduledEntry]:
-        """Resolve an affinity / relative-lifetime reference (uid or name)."""
-        matches = self._resolve_all(reference)
-        return matches[0] if matches else None
-
-    def _resolve_all(self, reference: str) -> List[ScheduledEntry]:
-        """All managed entries a reference designates.
-
-        A reference may be a data uid, a data name, or an *attribute* name
-        (the paper's Listing 3 uses attribute names: ``affinity = Sequence``
-        designates every datum scheduled under the Sequence attribute).
-        """
-        entry = self._entries.get(reference)
-        if entry is not None:
-            return [entry]
-        return [
-            candidate for candidate in self._entries.values()
-            if candidate.data.name == reference
-            or candidate.attribute.name == reference
-        ]
 
     def expire_lifetimes(self) -> List[str]:
         """Drop entries whose lifetime expired; returns the dropped uids.
 
-        Relative lifetimes are resolved transitively: deleting the Collector
-        obsoletes every datum whose lifetime references it (§5).
+        Absolute expiries pop off a time-ordered heap (rows are validated
+        against the entry's generation, so attribute replacement invalidates
+        stale rows lazily).  Relative lifetimes are resolved transitively
+        through the dependents index: deleting the Collector obsoletes every
+        datum whose lifetime references it (§5), which may dangle further
+        references — the unresolved set acts as the cascade worklist.
         """
         dropped: List[str] = []
-        changed = True
-        while changed:
-            changed = False
-            for uid, entry in list(self._entries.items()):
-                if not self._lifetime_valid(entry):
-                    del self._entries[uid]
-                    dropped.append(uid)
-                    changed = True
+        now = self.env.now
+        heap = self._expiry_heap
+        while heap and heap[0][0] < now:
+            _expire_at, seq, uid, generation = heapq.heappop(heap)
+            entry = self._entries.get(uid)
+            if entry is None or entry.seq != seq \
+                    or entry.generation != generation:
+                # Unscheduled, re-registered (a fresh entry restarts its
+                # generation, so the seq — unique per incarnation — is what
+                # detects rows from a previous life), or re-scheduled with a
+                # different attribute since the push.
+                continue
+            self._remove_entry(uid)
+            dropped.append(uid)
+        while self._unresolved:
+            uid = self._unresolved.pop()
+            if uid in self._entries:
+                self._remove_entry(uid)
+                dropped.append(uid)
         return dropped
 
     # ------------------------------------------------------------------ Algorithm 1
+    def _affinity_satisfied(self, reference: str, psi: Dict[str, ScheduledEntry],
+                            cached_uids: Set[str]) -> bool:
+        """True if the affinity *reference* designates data the host holds."""
+        if reference in self._entries:
+            return reference in psi or reference in cached_uids
+        for index in (self._by_name, self._by_attr):
+            for uid in index.get(reference, ()):
+                if uid in psi or uid in cached_uids:
+                    return True
+        return False
+
+    def _push_affinity_candidates(self, provider: ScheduledEntry,
+                                  heap: List[Tuple[int, str]],
+                                  pushed: Set[str],
+                                  min_seq: Optional[int]) -> None:
+        """Queue the entries whose affinity references *provider*.
+
+        ``min_seq`` reproduces the reference implementation's single forward
+        pass: data assigned at position *s* can only pull in affinity
+        dependents that appear later in Θ than *s* within the same
+        synchronisation (earlier ones wait for the host's next sync).
+        """
+        dependents = self._affinity_dependents
+        for reference in (provider.uid, provider.data.name,
+                          provider.attribute.name):
+            for dep_uid in dependents.get(reference, ()):
+                if dep_uid in pushed:
+                    continue
+                dep = self._entries.get(dep_uid)
+                if dep is None:
+                    continue
+                if min_seq is not None and dep.seq <= min_seq:
+                    continue
+                pushed.add(dep_uid)
+                heapq.heappush(heap, (dep.seq, dep_uid))
+
     def compute_schedule(self, host_name: str, cached_uids: Set[str],
                          reservoir: bool = True,
                          max_new: Optional[int] = None) -> SyncResult:
@@ -209,52 +427,104 @@ class DataSchedulerService:
         ``max_new`` overrides ``MaxDataSchedule`` for this synchronisation
         (hosts with plenty of bandwidth — typically the master collecting
         results — may ask for a larger batch).
+
+        Step 2 examines only *candidates*: the replica-deficit set plus the
+        affinity dependents of data the host holds, walked in Θ-insertion
+        order via a heap — never all of Θ.
         """
         limit = self.max_data_schedule if max_new is None else int(max_new)
         theta = self._entries
         psi: Dict[str, ScheduledEntry] = {}
+        candidate_heap: List[Tuple[int, str]] = []
+        pushed: Set[str] = set()
 
         # -- Step 1: keep cached data that is still managed and still alive.
+        # Every managed cached datum (valid or not) is also an affinity
+        # *provider*: its uid being in Δk is what the reference scan tests.
         for uid in cached_uids:
             entry = theta.get(uid)
             if entry is None:
                 continue
-            if not self._lifetime_valid(entry):
-                continue
-            psi[uid] = entry
-            entry.owners.add(host_name)
+            if self._lifetime_valid(entry):
+                psi[uid] = entry
+                self._add_owner(entry, host_name)
+            if limit > 0:
+                self._push_affinity_candidates(entry, candidate_heap, pushed,
+                                               min_seq=None)
 
-        # -- Step 2: assign new data.
+        # -- Step 2: assign new data, walking candidates in Θ order.  Two
+        # seq-ordered sources are merged: the affinity candidates triggered
+        # by this host's cache, and (for reservoir hosts) the shared
+        # replica-deficit heap.  Deficit rows popped here are re-queued
+        # afterwards unless the assignment satisfied the replica target —
+        # the sets are disjoint, since affinity-constrained data is never in
+        # the deficit.
         new_uids: List[str] = []
-        for uid, entry in theta.items():
+        deficit_heap = self._deficit_heap if (limit > 0 and reservoir) else None
+        deficit_set = self._replica_deficit
+        deficit_requeue: List[Tuple[int, str]] = []
+
+        while True:
+            if len(new_uids) >= limit:
+                break
+            if deficit_heap is not None:
+                # Drop rows whose uid left the deficit, and rows from a
+                # previous incarnation of a re-registered uid (their stale,
+                # smaller seq would break the Θ-insertion-order walk).
+                while deficit_heap and (
+                        deficit_heap[0][1] not in deficit_set
+                        or theta[deficit_heap[0][1]].seq != deficit_heap[0][0]):
+                    heapq.heappop(deficit_heap)
+            affinity_head = candidate_heap[0] if candidate_heap else None
+            deficit_head = deficit_heap[0] if deficit_heap else None
+            if affinity_head is None and deficit_head is None:
+                break
+            if deficit_head is not None and (
+                    affinity_head is None or deficit_head[0] < affinity_head[0]):
+                seq, uid = heapq.heappop(deficit_heap)
+                deficit_requeue.append((seq, uid))
+            else:
+                seq, uid = heapq.heappop(candidate_heap)
+            entry = theta.get(uid)
+            if entry is None:
+                continue
+            self.entries_examined += 1
             if uid in psi or uid in cached_uids:
                 continue
             if not self._lifetime_valid(entry):
+                # Dead candidates leave the deficit so later syncs stop
+                # re-examining them (the final requeue filter checks
+                # membership).  An absolute expiry re-enters only through a
+                # fresh attribute; a dangling relative reference re-enters
+                # via _resolve_dependents when a provider appears.
+                deficit_set.discard(uid)
                 continue
+            attr = entry.attribute
             assigned = False
 
             # Affinity resolution: schedule wherever the referenced data lives.
-            if entry.attribute.has_affinity:
-                references = self._resolve_all(entry.attribute.affinity)
-                if any(ref.uid in psi or ref.uid in cached_uids
-                       for ref in references):
-                    assigned = True
+            if attr.has_affinity and self._affinity_satisfied(
+                    attr.affinity, psi, cached_uids):
+                assigned = True
 
-            # Replica placement (reservoir hosts only).
-            if not assigned and reservoir:
-                attr = entry.attribute
+            # Replica placement (reservoir hosts only).  Affinity-constrained
+            # data is *only* placed by affinity.
+            if not assigned and reservoir and not attr.has_affinity:
                 if attr.replicate_to_all or len(entry.owners) < attr.replica:
-                    # Affinity-constrained data is *only* placed by affinity.
-                    if not attr.has_affinity:
-                        assigned = True
+                    assigned = True
 
             if assigned:
                 psi[uid] = entry
-                entry.owners.add(host_name)
+                self._add_owner(entry, host_name)
                 new_uids.append(uid)
                 self.assignments += 1
-            if len(new_uids) >= limit:
-                break
+                # The assignment may satisfy affinities later in Θ.
+                self._push_affinity_candidates(entry, candidate_heap, pushed,
+                                               min_seq=seq)
+
+        for row in deficit_requeue:
+            if row[1] in deficit_set:
+                heapq.heappush(self._deficit_heap, row)
 
         to_delete = sorted(uid for uid in cached_uids if uid not in psi)
         assigned_pairs = [(e.data, e.attribute) for e in psi.values()]
@@ -302,24 +572,32 @@ class DataSchedulerService:
         """Record that *host_name* finished downloading *data_uid*."""
         entry = self._entries.get(data_uid)
         if entry is not None:
-            entry.owners.add(host_name)
+            self._add_owner(entry, host_name)
 
     def release_ownership(self, host_name: str, data_uid: str) -> None:
         entry = self._entries.get(data_uid)
         if entry is not None:
-            entry.owners.discard(host_name)
+            self._remove_owner(entry, host_name)
             entry.pinned_on.discard(host_name)
 
     # ------------------------------------------------------------------ fault tolerance
     def _on_host_failure(self, host_name: str) -> None:
-        """Failure-detector callback: repair owner lists of fault-tolerant data."""
+        """Failure-detector callback: repair owner lists of fault-tolerant data.
+
+        The owner index makes this O(data owned by the failed host) instead
+        of a scan over Θ.
+        """
         self._host_caches.pop(host_name, None)
-        for entry in self._entries.values():
-            if host_name not in entry.owners:
+        owned = self._owner_index.get(host_name)
+        if not owned:
+            return
+        for uid in list(owned):
+            entry = self._entries.get(uid)
+            if entry is None:
                 continue
             if entry.attribute.fault_tolerance:
                 # Remove the faulty owner so the datum is re-scheduled elsewhere.
-                entry.owners.discard(host_name)
+                self._remove_owner(entry, host_name)
                 entry.pinned_on.discard(host_name)
                 self.repairs_triggered += 1
             # Non-fault-tolerant data: the replica stays registered (it will be

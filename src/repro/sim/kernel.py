@@ -30,6 +30,7 @@ __all__ = [
     "Process",
     "SimulationError",
     "Timeout",
+    "Timer",
 ]
 
 
@@ -61,6 +62,10 @@ class Event:
     already-processed event is allowed and resumes the waiter immediately
     (on the next scheduling step).
     """
+
+    #: Set by :meth:`Timer.cancel`; cancelled events are skipped (and lazily
+    #: removed from the heap) instead of running their callbacks.
+    cancelled = False
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -116,6 +121,8 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another (for chaining)."""
+        if not event.triggered:
+            raise SimulationError("cannot chain from an untriggered event")
         if event._ok:
             self.succeed(event._value)
         else:
@@ -153,6 +160,38 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         env._schedule(self, delay=delay)
+
+
+class Timer(Event):
+    """A cancellable scheduled callback.
+
+    Unlike :class:`Timeout`, a timer can be revoked with :meth:`cancel`
+    before it fires; the heap entry is removed lazily, so components that
+    frequently reschedule wake-ups (the flow network's completion timer) do
+    not accumulate stale entries that each must be popped and filtered with
+    a token check.
+    """
+
+    def __init__(self, env: "Environment", delay: float,
+                 callback: Optional[Callable[["Event"], None]] = None,
+                 value: Any = None, priority: int = 1):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        if callback is not None:
+            self.callbacks.append(callback)
+        env._schedule(self, delay=delay, priority=priority)
+
+    def cancel(self) -> bool:
+        """Revoke the timer; returns False if it already fired."""
+        if self.processed:
+            return False
+        self.cancelled = True
+        self.callbacks = []
+        return True
 
 
 class Initialize(Event):
@@ -317,11 +356,17 @@ class AllOf(_Condition):
 class Environment:
     """The simulation environment: virtual clock, queue and run loop."""
 
+    #: Priority of :meth:`settle` callbacks: they run after every
+    #: normally-scheduled event at the same timestamp.
+    SETTLE_PRIORITY = 2
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List = []
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Number of events processed by :meth:`step` (benchmark metric).
+        self.processed_events = 0
 
     # -- clock --------------------------------------------------------------
     @property
@@ -349,22 +394,50 @@ class Environment:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    def call_later(self, delay: float,
+                   callback: Callable[[Event], None]) -> Timer:
+        """Schedule *callback* after *delay*; returns a cancellable Timer."""
+        return Timer(self, delay, callback)
+
+    def settle(self, callback: Callable[[Event], None]) -> Event:
+        """Run *callback* at the current instant, after every event already
+        queued for this timestamp (including ones those events schedule).
+
+        This is the coalescing hook: a component can absorb a burst of
+        same-time changes (e.g. hundreds of flow arrivals during a
+        synchronisation storm) and settle its derived state exactly once.
+        """
+        proxy = Event(self)
+        proxy._ok = True
+        proxy._value = None
+        proxy.callbacks.append(callback)
+        self._schedule(proxy, priority=self.SETTLE_PRIORITY)
+        return proxy
+
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._counter), event)
         )
 
+    def _purge_cancelled(self) -> None:
+        queue = self._queue
+        while queue and queue[0][3].cancelled:
+            heapq.heappop(queue)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        self._purge_cancelled()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process the next event; raise if the queue is empty."""
+        self._purge_cancelled()
         if not self._queue:
             raise SimulationError("no more events to process")
         when, _prio, _count, event = heapq.heappop(self._queue)
         self._now = when
+        self.processed_events += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks or ():
             callback(event)
@@ -395,7 +468,10 @@ class Environment:
         while self._queue:
             if stop_event is not None and stop_event.processed:
                 break
-            if stop_time is not None and self.peek() > stop_time:
+            next_time = self.peek()   # also purges cancelled timers
+            if next_time == float("inf"):
+                break
+            if stop_time is not None and next_time > stop_time:
                 self._now = stop_time
                 break
             self.step()

@@ -213,3 +213,85 @@ class TestFailures:
         assert network.latency_between(a, a) == 0.0
         assert network.latency_between(a, b) == 0.001
         assert network.latency_between(a, c) == 0.05
+
+
+class TestCoalescing:
+    def test_same_time_arrivals_settle_once(self, env):
+        """A burst of simultaneous transfers triggers one allocation pass,
+        not one global recompute per flow."""
+        network = Network(env, default_latency_s=0.001)
+        server = network.add_host(Host("server", uplink_mbps=100,
+                                       downlink_mbps=100))
+        workers = [network.add_host(Host(f"w{i}", uplink_mbps=10,
+                                         downlink_mbps=10))
+                   for i in range(50)]
+        flows = [network.transfer(server, w, 1.0) for w in workers]
+        env.run(until=env.all_of([f.done for f in flows]))
+        assert network.completed_flows == 50
+        assert network.recompute_requests >= 50
+        # One pass for the arrival burst, one for the completion burst.
+        assert network.allocation_passes <= 3
+
+    def test_dense_allocator_option(self, env):
+        network = Network(env, default_latency_s=0.0,
+                          allocator="dense", coalesce=False)
+        assert network.allocator_name == "dense"
+        a = network.add_host(Host("a", uplink_mbps=10, downlink_mbps=10))
+        b = network.add_host(Host("b", uplink_mbps=10, downlink_mbps=10))
+        flow = network.transfer(a, b, 10)
+        env.run(until=flow.done)
+        assert flow.end_time == pytest.approx(1.0, rel=1e-3)
+
+    def test_unknown_allocator_rejected(self, env):
+        with pytest.raises(ValueError):
+            Network(env, allocator="magic")
+
+    def test_gateway_added_mid_flight_applies_to_running_flows(self, env):
+        """Constraint membership is rebuilt when the topology changes."""
+        network = Network(env, default_latency_s=0.0, wan_latency_s=0.0)
+        src = network.add_host(Host("src", cluster="A",
+                                    uplink_mbps=1000, downlink_mbps=1000))
+        dst = network.add_host(Host("dst", cluster="B",
+                                    uplink_mbps=1000, downlink_mbps=1000))
+        flow = network.transfer(src, dst, 100)
+
+        def clamp():
+            yield env.timeout(0.05)   # flow running at 1000 MB/s: 50 MB done
+            network.set_cluster_gateway("B", egress_mbps=50, ingress_mbps=50)
+
+        env.process(clamp())
+        env.run(until=flow.done)
+        # Remaining 50 MB at the 50 MB/s gateway: 0.05 + 1.0 seconds.
+        assert flow.end_time == pytest.approx(1.05, rel=1e-2)
+
+    def test_completion_timer_is_cancelled_not_stale(self, env, simple_network):
+        network, server, workers = simple_network
+        flow1 = network.transfer(server, workers[0], 100.0)
+
+        def add_more():
+            yield env.timeout(0.2)
+            return network.transfer(server, workers[1], 10.0)
+
+        handle = env.process(add_more())
+        env.run(until=flow1.done)
+        assert handle.value.finished
+        # The superseded wake-up was cancelled, not processed as a no-op.
+        assert network.completed_flows == 2
+
+    def test_host_link_speed_change_applies_next_pass(self, env):
+        """Link capacities are read live at allocation time, matching the
+        dense reference allocator's per-pass rebuild."""
+        network = Network(env, default_latency_s=0.0)
+        a = network.add_host(Host("a", uplink_mbps=100, downlink_mbps=100))
+        b = network.add_host(Host("b", uplink_mbps=100, downlink_mbps=100))
+        flow = network.transfer(a, b, 100)
+
+        def degrade():
+            yield env.timeout(0.5)        # 50 MB done at 100 MB/s
+            a.uplink_mbps = 10.0
+            network.add_background_load(a, "up", 0.0)   # nudge a recompute
+
+        env.process(degrade())
+        env.run(until=flow.done)
+        # Remaining 50 MB at 10 MB/s: 0.5 + 5.0 seconds.
+        assert flow.end_time == pytest.approx(5.5, rel=1e-2)

@@ -167,6 +167,81 @@ def test_all_flows_eventually_deliver_their_volume(sizes):
 
 
 # ---------------------------------------------------------------------------
+# Allocator equivalence oracle
+# ---------------------------------------------------------------------------
+
+host_spec_strategy = st.lists(
+    st.tuples(st.floats(min_value=1.0, max_value=500.0),
+              st.floats(min_value=1.0, max_value=500.0)),
+    min_size=2, max_size=6)
+
+flow_op_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2.0),          # delay before the op
+        st.sampled_from(["start", "start", "start", "abort", "fail"]),
+        st.integers(min_value=0, max_value=5),            # src / victim pick
+        st.integers(min_value=0, max_value=5),            # dst pick
+        st.floats(min_value=0.5, max_value=50.0),         # size_mb
+    ),
+    min_size=1, max_size=14)
+
+
+def _replay_schedule(allocator, coalesce, host_specs, ops, probe_times):
+    """Run one random arrival/departure/failure schedule on one allocator."""
+    env = Environment()
+    network = Network(env, default_latency_s=0.001,
+                      allocator=allocator, coalesce=coalesce)
+    hosts = [network.add_host(Host(f"h{i}", uplink_mbps=up, downlink_mbps=down))
+             for i, (up, down) in enumerate(host_specs)]
+    flows = []
+
+    def driver():
+        for delay, kind, a, b, size in ops:
+            yield env.timeout(delay)
+            if kind == "start":
+                src = hosts[a % len(hosts)]
+                dst = hosts[b % len(hosts)]
+                if src is not dst and src.online and dst.online:
+                    flows.append(network.transfer(src, dst, size))
+            elif kind == "abort":
+                if flows:
+                    network.abort(flows[a % len(flows)])
+            else:  # fail — never kill host 0 so some flows can still run
+                victim = hosts[1 + a % (len(hosts) - 1)]
+                victim.fail()
+
+    env.process(driver())
+    rate_probes = []
+    for t in probe_times:
+        env.run(until=t)
+        rate_probes.append(tuple(flow.rate_mbps for flow in flows))
+    env.run()
+    outcome = [
+        (flow.done.ok if flow.done.triggered else None,
+         flow.end_time, flow.transferred_mb)
+        for flow in flows
+    ]
+    stats = (network.completed_flows, network.failed_flows,
+             network.total_mb_delivered)
+    return outcome, rate_probes, stats
+
+
+@common_settings
+@given(host_specs=host_spec_strategy, ops=flow_op_strategy)
+def test_incremental_allocator_matches_dense_oracle(host_specs, ops):
+    """Random flow arrival/departure/failure schedules produce identical
+    rates and completion times on the dense (reference) allocator and the
+    coalesced incremental one."""
+    probe_times = [0.5, 1.5, 3.0, 6.0]
+    dense = _replay_schedule("dense", False, host_specs, ops, probe_times)
+    incremental = _replay_schedule("incremental", True, host_specs, ops,
+                                   probe_times)
+    assert incremental[0] == dense[0]     # outcome, end time, volume
+    assert incremental[1] == dense[1]     # allocated rates at probe times
+    assert incremental[2] == dense[2]     # network-level statistics
+
+
+# ---------------------------------------------------------------------------
 # Scheduler (Algorithm 1) invariants
 # ---------------------------------------------------------------------------
 

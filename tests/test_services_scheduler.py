@@ -309,3 +309,187 @@ class TestSynchronizeGenerator:
         scheduler.schedule(data)
         result = drive(env, scheduler.synchronize("h1", set()))
         assert data.uid in result.to_download
+
+
+class TestMaxNewLimit:
+    def test_max_new_zero_assigns_nothing(self, scheduler):
+        """Regression: ``max_new=0`` used to assign one datum anyway because
+        the limit was only checked *after* an assignment."""
+        for i in range(5):
+            scheduler.schedule(Data(name=f"d{i}"), Attribute(name="a", replica=1))
+        result = scheduler.compute_schedule("h1", set(), max_new=0)
+        assert result.to_download == []
+        assert result.assigned == []
+        assert scheduler.assignments == 0
+        # The data is still assignable on a later, unrestricted sync.
+        follow_up = scheduler.compute_schedule("h1", set())
+        assert len(follow_up.to_download) == 5
+
+    def test_max_new_zero_still_validates_cache(self, scheduler):
+        data = Data(name="d")
+        scheduler.schedule(data, Attribute(name="a", replica=1))
+        scheduler.compute_schedule("h1", set())
+        result = scheduler.compute_schedule("h1", {data.uid, "stale"}, max_new=0)
+        assert result.to_delete == ["stale"]
+        assert any(d.uid == data.uid for d, _ in result.assigned)
+
+
+class TestIndexedScanBehaviour:
+    def test_no_theta_scan_when_nothing_assignable(self, env):
+        """With every replica target satisfied, a synchronisation examines
+        zero Θ entries no matter how much data is under management."""
+        scheduler = DataSchedulerService(env, max_data_schedule=16)
+        for i in range(500):
+            data = Data(name=f"d{i}")
+            scheduler.schedule(data, Attribute(name="a", replica=1))
+            scheduler.confirm_ownership("holder", data.uid)
+        scheduler.entries_examined = 0
+        result = scheduler.compute_schedule("fresh-host", set())
+        assert result.to_download == []
+        assert scheduler.entries_examined == 0
+        assert scheduler.managed_count == 500
+
+    def test_examined_entries_proportional_to_assignable(self, env):
+        scheduler = DataSchedulerService(env, max_data_schedule=16)
+        for i in range(200):
+            data = Data(name=f"sat{i}")
+            scheduler.schedule(data, Attribute(name="a", replica=1))
+            scheduler.confirm_ownership("holder", data.uid)
+        needy = Data(name="needy")
+        scheduler.schedule(needy, Attribute(name="b", replica=3))
+        scheduler.entries_examined = 0
+        result = scheduler.compute_schedule("fresh-host", set())
+        assert result.to_download == [needy.uid]
+        assert scheduler.entries_examined == 1
+
+    def test_release_ownership_reenters_deficit(self, env):
+        scheduler = DataSchedulerService(env)
+        data = Data(name="d")
+        scheduler.schedule(data, Attribute(name="a", replica=1))
+        scheduler.compute_schedule("h1", set())
+        assert scheduler.compute_schedule("h2", set()).to_download == []
+        scheduler.release_ownership("h1", data.uid)
+        assert scheduler.compute_schedule("h2", set()).to_download == [data.uid]
+
+    def test_owner_index_survives_unschedule(self, env, detector):
+        scheduler = DataSchedulerService(env, failure_detector=detector)
+        kept = Data(name="kept")
+        dropped = Data(name="dropped")
+        scheduler.schedule(kept, Attribute(name="a", replica=2,
+                                           fault_tolerance=True))
+        scheduler.schedule(dropped, Attribute(name="b", replica=2,
+                                              fault_tolerance=True))
+        detector.heartbeat("h1")
+        sync(scheduler, "h1")
+        scheduler.unschedule(dropped.uid)
+        env._now = 10.0
+        detector.sweep()
+        # Only the still-managed datum is repaired; no stale index entries.
+        assert scheduler.owners_of(kept.uid) == set()
+        assert scheduler.repairs_triggered == 1
+
+
+class TestLifetimeIndexes:
+    def test_expiry_heap_ignores_rescheduled_attribute(self, env, scheduler):
+        data = Data(name="d")
+        scheduler.schedule(data, Attribute(name="a", replica=1,
+                                           absolute_lifetime=10.0))
+        # Replacing the attribute invalidates the original expiry row.
+        scheduler.schedule(data, Attribute(name="a2", replica=1,
+                                           absolute_lifetime=1000.0))
+        env._now = 50.0
+        assert scheduler.expire_lifetimes() == []
+        assert scheduler.managed_count == 1
+        env._now = 2000.0
+        assert scheduler.expire_lifetimes() == [data.uid]
+
+    def test_unresolvable_reference_dropped(self, env, scheduler):
+        orphan = Data(name="orphan")
+        scheduler.schedule(orphan, Attribute(name="O",
+                                             relative_lifetime="never-existed"))
+        assert scheduler.expire_lifetimes() == [orphan.uid]
+
+    def test_late_provider_resurrects_reference(self, env, scheduler):
+        dependent = Data(name="dep")
+        scheduler.schedule(dependent, Attribute(name="D",
+                                                relative_lifetime="Anchor"))
+        anchor = Data(name="anchor")
+        scheduler.schedule(anchor, Attribute(name="Anchor", replica=1))
+        assert scheduler.expire_lifetimes() == []
+        scheduler.unschedule(anchor.uid)
+        assert scheduler.expire_lifetimes() == [dependent.uid]
+
+    def test_transitive_expiry_through_names_and_attributes(self, env, scheduler):
+        a = Data(name="a")
+        b = Data(name="b")
+        c = Data(name="c")
+        d = Data(name="d")
+        scheduler.schedule(a, Attribute(name="A", absolute_lifetime=10))
+        scheduler.schedule(b, Attribute(name="B", relative_lifetime="a"))
+        scheduler.schedule(c, Attribute(name="C", relative_lifetime="B"))
+        scheduler.schedule(d, Attribute(name="D", relative_lifetime=c.uid))
+        env._now = 20.0
+        dropped = scheduler.expire_lifetimes()
+        assert set(dropped) == {a.uid, b.uid, c.uid, d.uid}
+        assert scheduler.managed_count == 0
+
+
+class TestReregistrationStaleness:
+    def test_reschedule_after_unschedule_ignores_old_expiry_row(self, env, scheduler):
+        """Regression: a heap row from a previous incarnation of the same uid
+        must not expire the re-registered entry (a fresh entry restarts its
+        generation, so the row's seq is what identifies the incarnation)."""
+        data = Data(name="d")
+        scheduler.schedule(data, Attribute(name="a", replica=1,
+                                           absolute_lifetime=5.0))
+        scheduler.unschedule(data.uid)
+        scheduler.schedule(data, Attribute(name="b", replica=1))
+        env._now = 100.0
+        assert scheduler.expire_lifetimes() == []
+        assert scheduler.managed_count == 1
+
+    def test_reschedule_after_unschedule_keeps_theta_order(self, env):
+        """Regression: a stale deficit-heap row carrying the old seq must not
+        let a re-registered datum jump the Θ-insertion-order queue."""
+        scheduler = DataSchedulerService(env, max_data_schedule=16)
+        a = Data(name="a")
+        b = Data(name="b")
+        scheduler.schedule(a, Attribute(name="A", replica=1))
+        scheduler.unschedule(a.uid)
+        scheduler.schedule(b, Attribute(name="B", replica=1))
+        scheduler.schedule(a, Attribute(name="A", replica=1))
+        result = scheduler.compute_schedule("h1", set(), max_new=1)
+        # b was registered before a's second incarnation: b goes first.
+        assert result.to_download == [b.uid]
+
+
+class TestDeficitEviction:
+    def test_expired_deficit_entries_examined_at_most_once(self, env):
+        """Lifetime-dead data leaves the deficit on first examination instead
+        of being re-examined by every synchronisation forever."""
+        scheduler = DataSchedulerService(env, max_data_schedule=16)
+        for i in range(50):
+            scheduler.schedule(Data(name=f"d{i}"),
+                               Attribute(name="a", replica=1,
+                                         absolute_lifetime=10.0))
+        env._now = 100.0
+        scheduler.compute_schedule("h1", set())
+        first_pass = scheduler.entries_examined
+        assert first_pass <= 50
+        scheduler.compute_schedule("h2", set())
+        scheduler.compute_schedule("h3", set())
+        assert scheduler.entries_examined == first_pass
+
+    def test_dangling_reference_reenters_deficit_when_provider_appears(self, env):
+        scheduler = DataSchedulerService(env)
+        dep = Data(name="dep")
+        scheduler.schedule(dep, Attribute(name="D", replica=1,
+                                          relative_lifetime="Anchor"))
+        # Examined once while dangling: evicted, then ignored.
+        assert scheduler.compute_schedule("h1", set()).to_download == []
+        assert scheduler.compute_schedule("h2", set()).to_download == []
+        # A provider appears: the dependent is assignable again.
+        anchor = Data(name="anchor")
+        scheduler.schedule(anchor, Attribute(name="Anchor", replica=1))
+        result = scheduler.compute_schedule("h3", set())
+        assert set(result.to_download) == {dep.uid, anchor.uid}

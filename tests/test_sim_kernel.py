@@ -335,3 +335,108 @@ class TestConditions:
         p = env.process(waiter())
         env.run(until=p)
         assert p.value == 1
+
+
+class TestTimers:
+    def test_timer_fires_callback(self, env):
+        fired = []
+        env.call_later(2.0, lambda evt: fired.append(env.now))
+        env.run()
+        assert fired == [2.0]
+
+    def test_cancelled_timer_never_fires(self, env):
+        fired = []
+        timer = env.call_later(2.0, lambda evt: fired.append(env.now))
+        assert timer.cancel() is True
+        env.run()
+        assert fired == []
+        assert env.now == 0.0   # nothing left to process
+
+    def test_cancel_after_fire_returns_false(self, env):
+        timer = env.call_later(1.0, lambda evt: None)
+        env.run()
+        assert timer.cancel() is False
+
+    def test_peek_skips_cancelled_timers(self, env):
+        first = env.call_later(1.0, lambda evt: None)
+        env.call_later(5.0, lambda evt: None)
+        first.cancel()
+        assert env.peek() == 5.0
+
+    def test_run_until_time_ignores_cancelled_timers(self, env):
+        """A cancelled timer before the stop time must not smuggle the
+        clock past it."""
+        fired = []
+        doomed = env.call_later(1.0, lambda evt: fired.append("doomed"))
+        env.call_later(10.0, lambda evt: fired.append("late"))
+        doomed.cancel()
+        env.run(until=5.0)
+        assert fired == []
+        assert env.now == 5.0
+        env.run(until=20.0)
+        assert fired == ["late"]
+
+    def test_negative_timer_delay_rejected(self, env):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            env.call_later(-1.0, lambda evt: None)
+
+    def test_rescheduling_does_not_accumulate_stale_wakeups(self, env):
+        """The cancel-and-rearm pattern leaves no stale heap entries behind
+        once the queue drains past them."""
+        timer = None
+        for _ in range(50):
+            if timer is not None:
+                timer.cancel()
+            timer = env.call_later(1.0, lambda evt: None)
+        env.run()
+        assert env.processed_events == 1   # only the live timer fired
+
+
+class TestSettleHook:
+    def test_settle_runs_after_same_time_events(self, env):
+        order = []
+        env.timeout(0.0).add_callback(lambda evt: order.append("event-1"))
+        env.settle(lambda evt: order.append("settle"))
+        env.timeout(0.0).add_callback(lambda evt: order.append("event-2"))
+        env.run()
+        # Both zero-delay events precede the settle although one was
+        # scheduled after it.
+        assert order == ["event-1", "event-2", "settle"]
+
+    def test_settle_coalesces_burst(self, env):
+        passes = []
+        pending = []
+
+        def request():
+            if not pending:
+                pending.append(True)
+                env.settle(lambda evt: (pending.clear(),
+                                        passes.append(env.now)))
+
+        for _ in range(100):
+            env.timeout(1.0).add_callback(lambda evt: request())
+        env.run()
+        assert passes == [1.0]
+
+
+class TestTriggerChaining:
+    def test_trigger_from_untriggered_event_raises(self, env):
+        from repro.sim.kernel import SimulationError
+        source = env.event()
+        target = env.event()
+        with pytest.raises(SimulationError, match="untriggered"):
+            target.trigger(source)
+        # The target stays usable after the error.
+        source.succeed("v")
+        target.trigger(source)
+        assert target.value == "v"
+
+    def test_trigger_copies_failure(self, env):
+        source = env.event()
+        source.fail(RuntimeError("boom"))
+        source.defused = True
+        target = env.event()
+        target.trigger(source)
+        target.defused = True
+        assert target.ok is False
