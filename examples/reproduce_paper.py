@@ -4,8 +4,9 @@
 Runs the experiment harness behind ``benchmarks/`` (Tables 1-3, Figures 3a-c,
 4, 5, 6) and prints the same rows/series the paper reports.  Use ``--quick``
 for small grids (a couple of minutes) or ``--paper-scale`` for the full
-configuration of the paper (much longer).  The output of this script is the
-source of the measured values recorded in ``EXPERIMENTS.md``.
+configuration of the paper (much longer).  Each harness call is a registered
+scenario: the same runs are available one-by-one through ``python -m repro
+run <scenario>`` (see ``docs/EXPERIMENTS.md`` for the catalog).
 
 Run with::
 

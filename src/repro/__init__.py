@@ -18,6 +18,10 @@ The package is organised as the paper's architecture (Figure 1):
 * **Applications and workloads** (:mod:`repro.apps`, :mod:`repro.workloads`):
   the master/worker framework, the BLAST application model and the
   churn/workload generators the experiments use.
+* **Experiments** (:mod:`repro.experiments`, ``python -m repro``): the
+  declarative scenario layer — every table/figure of the paper and every
+  beyond-the-paper stress run as a registered, seedable, JSON-serialisable
+  scenario behind one CLI (``list`` / ``describe`` / ``run`` / ``sweep``).
 """
 
 from repro.core import (

@@ -1,0 +1,262 @@
+"""``python -m repro`` — the experiment catalog on the command line.
+
+Subcommands:
+
+* ``list`` — every registered scenario with its paper reference.
+* ``describe NAME`` — parameters, defaults and provenance of one scenario.
+* ``run NAME [--set k=v ...] [--seed N] [--out results.json]`` — run one
+  scenario; the JSON written by ``--out`` is deterministic (same seed →
+  byte-identical bytes).
+* ``sweep NAME --grid k=v1,v2 [--grid ...] [--set k=v ...] [--out f.json]``
+  — the cartesian product of one or more parameter axes.
+
+Parameter values (``--set``/``--grid``) are parsed as JSON when possible
+(``replica=5`` → int, ``sizes_mb=[10,100]`` → list) and fall back to plain
+strings (``protocol=ftp``).
+
+Examples::
+
+    python -m repro list
+    python -m repro describe fig4
+    python -m repro run fig4 --out fig4.json
+    python -m repro run distribution --set protocol=bittorrent --set size_mb=100
+    python -m repro sweep fig4 --grid replica=3,5 --grid crash_interval_s=10,20
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.reporting import format_table
+from repro.experiments import (
+    ScenarioSpec,
+    UnknownScenarioError,
+    default_registry,
+    run_spec,
+    run_sweep,
+)
+from repro.experiments.runner import sweep_to_dict
+
+__all__ = ["main"]
+
+
+def _parse_value(text: str):
+    """One CLI parameter value: JSON if it parses, plain string otherwise."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_assignment(text: str) -> tuple:
+    if "=" not in text:
+        raise ValueError(f"expected name=value, got {text!r}")
+    name, _, value = text.partition("=")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"empty parameter name in {text!r}")
+    return name, _parse_value(value.strip())
+
+
+def _parse_grid_axis(text: str) -> tuple:
+    """``name=v1,v2,...`` → (name, [values]).
+
+    A JSON list (``name=[1,2]``) is taken whole, and a JSON-quoted string
+    (``name='"x,y"'``) is one value even if it contains commas; otherwise
+    the value splits on commas.
+    """
+    if "=" not in text:
+        raise ValueError(f"expected name=value, got {text!r}")
+    name, _, raw = text.partition("=")
+    name, raw = name.strip(), raw.strip()
+    if not name:
+        raise ValueError(f"empty parameter name in {text!r}")
+    try:
+        parsed = json.loads(raw)
+    except ValueError:
+        if "," in raw:
+            return name, [_parse_value(part.strip())
+                          for part in raw.split(",")]
+        return name, [raw]
+    return name, parsed if isinstance(parsed, list) else [parsed]
+
+
+def _collect_params(assignments: Optional[Sequence[str]],
+                    seed: Optional[int]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for assignment in assignments or ():
+        name, value = _parse_assignment(assignment)
+        params[name] = value
+    if seed is not None:
+        params["seed"] = seed
+    return params
+
+
+def _write_output(text: str, out: Optional[str]) -> None:
+    if out is None or out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(out, "w") as fh:
+            fh.write(text)
+
+
+def _summarise(results: object) -> str:
+    """A short human-readable account of a scenario's results."""
+    if isinstance(results, dict):
+        scalars = {k: v for k, v in results.items()
+                   if isinstance(v, (int, float, str, bool)) or v is None}
+        return format_table([scalars]) if scalars else repr(results)
+    if isinstance(results, list) and results \
+            and all(isinstance(row, dict) for row in results):
+        columns = [k for k in results[0]
+                   if isinstance(results[0][k], (int, float, str, bool))]
+        return format_table(results, columns=columns)
+    return repr(results)
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_list(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    rows = [{
+        "scenario": d.name,
+        "group": d.group,
+        "paper_ref": d.paper_ref,
+        "title": d.title,
+    } for d in registry.definitions(group=args.group)]
+    print(format_table(rows, title=f"{len(rows)} registered scenarios"))
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    definition = registry.get(args.scenario)
+    print(f"scenario : {definition.name}")
+    print(f"title    : {definition.title}")
+    print(f"paper    : {definition.paper_ref}")
+    print(f"module   : {definition.module}")
+    print(f"group    : {definition.group}"
+          + (f"   tags: {', '.join(definition.tags)}" if definition.tags else ""))
+    print(f"usage    : {definition.cli_example()}")
+    print()
+    params = definition.parameters()
+    rows = [{"parameter": name,
+             "default": ("(required)" if default is inspect.Parameter.empty
+                         else repr(default))}
+            for name, default in params.items()]
+    print(format_table(rows, title="parameters (override with --set name=value)"))
+    if definition.accepts_extra_params():
+        print("(extra --set parameters are forwarded to the underlying run)")
+    if definition.description:
+        print()
+        print(definition.description)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    params = _collect_params(args.set, args.seed)
+    spec = ScenarioSpec(scenario=args.scenario, params=params)
+    result = run_spec(spec)
+    if args.out is not None:
+        _write_output(result.to_json(), args.out)
+    # With '--out -' the JSON owns stdout; the summary would corrupt it.
+    if not args.quiet and args.out != "-":
+        ref = f" [{result.definition.paper_ref}]" if result.definition.paper_ref else ""
+        print(f"# scenario {result.spec.scenario}{ref}"
+              + (f" -> {args.out}" if args.out not in (None, "-") else ""))
+        print(_summarise(result.results))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    grid: Dict[str, List[object]] = {}
+    for axis in args.grid:
+        name, values = _parse_grid_axis(axis)
+        if name in grid:
+            raise ValueError(
+                f"duplicate --grid axis {name!r}; give every value in one "
+                f"axis: --grid {name}={','.join(map(str, grid[name] + values))}")
+        grid[name] = values
+    base = _collect_params(args.set, args.seed)
+    runs = run_sweep(args.scenario, grid, base_params=base)
+    doc = sweep_to_dict(args.scenario, grid, runs)
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out is not None:
+        _write_output(text, args.out)
+    if not args.quiet and args.out != "-":
+        print(f"# swept {args.scenario}: "
+              f"{len(runs)} runs over axes {sorted(grid)}"
+              + (f" -> {args.out}" if args.out not in (None, "-") else ""))
+        for run in runs:
+            overrides = {axis: run.spec.params[axis] for axis in sorted(grid)}
+            print(f"  {overrides}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the declarative experiment scenarios of this "
+                    "BitDew reproduction (see docs/EXPERIMENTS.md).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("--group", choices=("paper", "scale", "extra"),
+                        default=None, help="only one scenario group")
+    p_list.set_defaults(func=cmd_list)
+
+    p_desc = sub.add_parser("describe", help="show one scenario's parameters")
+    p_desc.add_argument("scenario")
+    p_desc.set_defaults(func=cmd_describe)
+
+    p_run = sub.add_parser("run", help="run one scenario")
+    p_run.add_argument("scenario")
+    p_run.add_argument("--set", action="append", metavar="NAME=VALUE",
+                       help="override one parameter (repeatable)")
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's RNG seed")
+    p_run.add_argument("--out", metavar="FILE",
+                       help="write deterministic JSON results ('-' = stdout)")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress the human-readable summary")
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep",
+                             help="run the cartesian product of a grid")
+    p_sweep.add_argument("scenario")
+    p_sweep.add_argument("--grid", action="append", required=True,
+                         metavar="NAME=V1,V2,...",
+                         help="one parameter axis (repeatable)")
+    p_sweep.add_argument("--set", action="append", metavar="NAME=VALUE",
+                         help="fixed override applied to every run")
+    p_sweep.add_argument("--seed", type=int, default=None,
+                         help="RNG seed applied to every run")
+    p_sweep.add_argument("--out", metavar="FILE",
+                         help="write the sweep JSON ('-' = stdout)")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress the run-by-run summary")
+    p_sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except UnknownScenarioError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,12 +25,14 @@ platform like any other BitDew application.
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.attributes import Attribute
 from repro.core.collectives import DataCollectives
 from repro.core.data import Data
+from repro.core.exceptions import BitDewError
 from repro.core.events import ActiveDataEventHandler
 from repro.core.runtime import BitDewEnvironment, HostAgent
 from repro.net.host import Host
@@ -61,6 +63,7 @@ class MapReduceResult:
     reduce_tasks: int
     makespan_s: float
     intermediate_data: int
+    map_failures: int = 0
 
 
 class _MapperHandler(ActiveDataEventHandler):
@@ -99,9 +102,12 @@ class MapReduceJob:
         map_cost_s_per_mb: float = 2.0,
         reduce_cost_s_per_partition: float = 0.5,
         protocol: str = "http",
+        straggler_grace_s: Optional[float] = None,
     ):
         if n_map_slices <= 0 or n_reducers <= 0:
             raise ValueError("n_map_slices and n_reducers must be positive")
+        if straggler_grace_s is not None and straggler_grace_s <= 0:
+            raise ValueError("straggler_grace_s must be positive (or None)")
         self.runtime = runtime
         self.master = runtime.attach(master_host, reservoir=False,
                                      max_data_schedule=64)
@@ -114,6 +120,11 @@ class MapReduceJob:
         self.map_cost_s_per_mb = map_cost_s_per_mb
         self.reduce_cost_s_per_partition = reduce_cost_s_per_partition
         self.protocol = protocol
+        #: with a grace period set, reducers give up waiting for map tasks
+        #: that make no progress (e.g. their host crashed) and reduce what
+        #: arrived; ``None`` keeps the strict wait-for-every-map behaviour.
+        self.straggler_grace_s = straggler_grace_s
+        self._progress_at: Optional[float] = None
 
         self.mappers: List[HostAgent] = []
         self.reducers: List[HostAgent] = []
@@ -122,6 +133,7 @@ class MapReduceJob:
         self._reduce_started: set = set()
         self._reduce_outputs: Dict[int, Dict[str, int]] = {}
         self.maps_done = 0
+        self.maps_failed = 0
         self.intermediate_count = 0
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -196,7 +208,9 @@ class MapReduceJob:
 
     # ------------------------------------------------------------------ map side
     def _partition_of(self, key: str) -> int:
-        return hash(key) % self.n_reducers
+        # crc32, not hash(): partitioning must not depend on PYTHONHASHSEED,
+        # or two runs of the same seeded scenario shuffle differently.
+        return zlib.crc32(key.encode("utf-8")) % self.n_reducers
 
     def _run_map(self, agent: HostAgent, data: Data):
         """Generator: run the user's map function on one slice."""
@@ -211,7 +225,23 @@ class MapReduceJob:
             partitions.setdefault(self._partition_of(key), {}).setdefault(
                 key, []).append(value)
         # Publish one intermediate datum per non-empty partition, scattered to
-        # the responsible reducer.
+        # the responsible reducer.  A mapper whose host crashes mid-publish
+        # loses the rest of its partitions (its map task is partially lost),
+        # but must not take the whole simulation down — the failure is
+        # counted so the reducers' wait loop still terminates.
+        try:
+            yield from self._publish_partitions(agent, data, partitions)
+        except BitDewError:
+            self.maps_failed += 1
+            self._progress_at = agent.env.now
+            return None
+        self.maps_done += 1
+        self._progress_at = agent.env.now
+        return len(partitions)
+
+    def _publish_partitions(self, agent: HostAgent, data: Data,
+                            partitions: Dict[int, Dict[str, List[int]]]):
+        """Generator: upload + schedule one datum per non-empty partition."""
         for partition, pairs in partitions.items():
             reducer = self.reducers[partition % len(self.reducers)]
             payload = json.dumps(pairs, sort_keys=True).encode("utf-8")
@@ -227,8 +257,6 @@ class MapReduceJob:
             )
             yield from agent.active_data.schedule(inter, attribute)
             self.intermediate_count += 1
-        self.maps_done += 1
-        return len(partitions)
 
     # ------------------------------------------------------------------ reduce side
     def _note_partition_arrival(self, partition: int, agent: HostAgent,
@@ -242,7 +270,17 @@ class MapReduceJob:
         """Generator: merge every partition file for *partition* and reduce."""
         # Wait until every map task finished, then one extra sync period so
         # that straggling partition files have time to land in the cache.
-        while self.maps_done < len(self._map_slices):
+        # Under churn a mapper may never finish (its host crashed before the
+        # slice arrived); with a straggler grace period the reducer stops
+        # waiting once map progress has stalled for that long.  Maps whose
+        # publish failed count as resolved, so a mid-publish crash cannot
+        # stall the strict (no-grace) wait until the deadline.
+        while self.maps_done + self.maps_failed < len(self._map_slices):
+            if (self.straggler_grace_s is not None
+                    and agent.env.now - (self._progress_at
+                                         or self.started_at or 0.0)
+                    > self.straggler_grace_s):
+                break
             yield agent.env.timeout(agent.sync_period_s)
         yield agent.env.timeout(2.0 * agent.sync_period_s)
         merged: Dict[str, List[int]] = {}
@@ -293,4 +331,5 @@ class MapReduceJob:
             reduce_tasks=self.reduces_done,
             makespan_s=(self.finished_at - (self.started_at or 0.0)),
             intermediate_data=self.intermediate_count,
+            map_failures=self.maps_failed,
         )

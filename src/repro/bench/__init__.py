@@ -2,11 +2,14 @@
 
 Each ``run_*`` function builds a fresh simulated platform, runs the
 experiment and returns plain dictionaries/lists with the same rows or series
-the paper reports.  The pytest-benchmark files under ``benchmarks/`` are thin
-wrappers around these functions, and ``examples/reproduce_paper.py`` calls
-them to regenerate EXPERIMENTS.md numbers.
+the paper reports.  Every entry point is a thin wrapper
+(:func:`repro.experiments.entry.registered_entry_point`) over a scenario
+registered in :mod:`repro.experiments.scenarios`, so the functions below,
+the pytest benchmarks under ``benchmarks/`` and the ``python -m repro`` CLI
+all dispatch to the same registered experiment; ``docs/EXPERIMENTS.md`` maps
+the full catalog.
 
-Index (see DESIGN.md for the full mapping):
+Index (see DESIGN.md and docs/EXPERIMENTS.md for the full mapping):
 
 =============  ==========================================================
 Experiment     Harness function

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.apps.blast import BlastParameters, build_blast_application
 from repro.core.runtime import BitDewEnvironment
+from repro.experiments.entry import registered_entry_point
 from repro.net.topology import cluster_topology, grid5000_testbed
 from repro.sim.kernel import Environment
 from repro.transfer.registry import default_registry
@@ -30,7 +31,7 @@ from repro.transfer.registry import default_registry
 __all__ = ["run_blast_once", "run_fig5", "run_fig6"]
 
 
-def run_blast_once(
+def _run_blast_once(
     n_workers: int,
     transfer_protocol: str,
     topology: str = "cluster",
@@ -86,7 +87,7 @@ def run_blast_once(
     }
 
 
-def run_fig5(
+def _run_fig5(
     worker_counts: Sequence[int] = (10, 50, 150),
     protocols: Sequence[str] = ("ftp", "bittorrent"),
     **kwargs,
@@ -95,12 +96,12 @@ def run_fig5(
     rows = []
     for protocol in protocols:
         for workers in worker_counts:
-            result = run_blast_once(workers, protocol, topology="cluster", **kwargs)
+            result = _run_blast_once(workers, protocol, topology="cluster", **kwargs)
             rows.append(result)
     return rows
 
 
-def run_fig6(
+def _run_fig6(
     total_nodes: int = 100,
     protocols: Sequence[str] = ("ftp", "bittorrent"),
     **kwargs,
@@ -108,7 +109,7 @@ def run_fig6(
     """Per-cluster breakdown (transfer / unzip / execution) on Grid'5000."""
     rows = []
     for protocol in protocols:
-        result = run_blast_once(total_nodes, protocol, topology="grid5000", **kwargs)
+        result = _run_blast_once(total_nodes, protocol, topology="grid5000", **kwargs)
         for cluster, values in result["breakdown_by_cluster"].items():
             rows.append({
                 "protocol": protocol,
@@ -128,3 +129,9 @@ def run_fig6(
             "tasks": mean["tasks_executed"],
         })
     return rows
+
+
+# Public entry points: dispatch through the scenario registry.
+run_blast_once = registered_entry_point("blast", _run_blast_once)
+run_fig5 = registered_entry_point("fig5", _run_fig5)
+run_fig6 = registered_entry_point("fig6", _run_fig6)

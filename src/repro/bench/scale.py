@@ -33,6 +33,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.attributes import Attribute
+from repro.experiments.entry import registered_entry_point
 from repro.core.data import Data
 from repro.core.runtime import BitDewEnvironment
 from repro.net.flows import Network
@@ -44,7 +45,7 @@ from repro.storage.filesystem import FileContent
 __all__ = ["run_completion_curve", "run_scale_grid", "run_sync_storm"]
 
 
-def run_sync_storm(
+def _run_sync_storm(
     n_workers: int = 500,
     rounds: int = 2,
     size_mb: float = 5.0,
@@ -107,7 +108,7 @@ def run_sync_storm(
     }
 
 
-def run_completion_curve(
+def _run_completion_curve(
     worker_counts: Sequence[int] = (250, 500, 1000),
     size_mb: float = 2.0,
     server_link_mbps: float = 1000.0,
@@ -116,7 +117,7 @@ def run_completion_curve(
     """Completion time vs worker count with a server-uplink bottleneck."""
     rows: List[Dict[str, object]] = []
     for n_workers in worker_counts:
-        metrics = run_sync_storm(n_workers=n_workers, rounds=1,
+        metrics = _run_sync_storm(n_workers=n_workers, rounds=1,
                                  size_mb=size_mb,
                                  server_link_mbps=server_link_mbps,
                                  node_link_mbps=node_link_mbps)
@@ -129,7 +130,7 @@ def run_completion_curve(
     return rows
 
 
-def run_scale_grid(
+def _run_scale_grid(
     n_hosts: int = 1000,
     n_data: int = 5000,
     replica: int = 1,
@@ -214,3 +215,10 @@ def run_scale_grid(
         "completed_flows": network.completed_flows,
         "processed_events": env.processed_events,
     }
+
+
+# Public entry points: dispatch through the scenario registry.
+run_sync_storm = registered_entry_point("sync-storm", _run_sync_storm)
+run_completion_curve = registered_entry_point("completion-curve",
+                                              _run_completion_curve)
+run_scale_grid = registered_entry_point("scale-grid", _run_scale_grid)

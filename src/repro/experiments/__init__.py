@@ -1,0 +1,61 @@
+"""Declarative experiment scenarios (the paper as a runnable catalog).
+
+The paper's central claim is that data-management *behaviour* is declared —
+attributes, protocols, replication under churn — rather than programmed.
+This package applies the same idea to the experiments themselves: every
+table, figure and beyond-the-paper stress run is a **registered scenario**
+(:mod:`repro.experiments.scenarios`) described by a
+:class:`~repro.experiments.spec.ScenarioSpec` — a plain, JSON-round-trippable
+record of *which* scenario runs with *which* parameters and seed — instead of
+a bespoke Python function with hard-coded wiring.
+
+Layers:
+
+* :mod:`repro.experiments.spec` — ``ScenarioSpec`` (name + params), dict/JSON
+  round-trip, parameter-grid expansion for sweeps.
+* :mod:`repro.experiments.registry` — ``ScenarioRegistry`` mapping scenario
+  names to :class:`ScenarioDefinition` (runner callable, paper reference,
+  defaults introspected from the runner's signature), in the style of
+  :mod:`repro.transfer.registry`.
+* :mod:`repro.experiments.runner` — resolve a spec against the registry, run
+  it, and shape the outcome into deterministic, JSON-serialisable results
+  (same seed → byte-identical output).
+* :mod:`repro.experiments.scenarios` — the built-in catalog: one scenario per
+  paper table/figure (Tables 1-3, Figures 3a-6), the BENCH scale runs, and
+  scenarios beyond the paper (flash crowds, Weibull churn, catalog load,
+  MapReduce under churn).
+* :mod:`repro.experiments.extra` — implementations of the beyond-the-paper
+  scenarios.
+
+``python -m repro`` (see :mod:`repro.__main__`) exposes the catalog on the
+command line: ``list``, ``describe``, ``run`` and ``sweep``.
+"""
+
+from repro.experiments.spec import ScenarioSpec, expand_grid
+from repro.experiments.registry import (
+    ScenarioDefinition,
+    ScenarioRegistry,
+    UnknownScenarioError,
+)
+from repro.experiments.runner import (
+    ScenarioResult,
+    default_registry,
+    run_scenario,
+    run_spec,
+    run_sweep,
+)
+from repro.experiments.entry import registered_entry_point
+
+__all__ = [
+    "ScenarioDefinition",
+    "ScenarioRegistry",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "UnknownScenarioError",
+    "default_registry",
+    "expand_grid",
+    "registered_entry_point",
+    "run_scenario",
+    "run_spec",
+    "run_sweep",
+]

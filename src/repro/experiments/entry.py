@@ -1,0 +1,48 @@
+"""Registry-dispatching entry points for the ``repro.bench`` harnesses.
+
+:func:`registered_entry_point` turns a scenario implementation into a public
+harness function that keeps the implementation's exact signature, docstring
+and return value, but routes every call through the scenario registry — so
+``repro.bench.fault.run_fig4(...)`` and ``python -m repro run fig4`` resolve
+to the *same* registered scenario spec, and the registry stays the single
+dispatch point for experiments.
+
+This module must not import the registry/runner at module level: the bench
+modules import it while the scenario catalog (which imports the bench
+modules for their implementations) is being built.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Callable
+
+__all__ = ["registered_entry_point"]
+
+
+def registered_entry_point(name: str,
+                           impl: Callable[..., object]) -> Callable[..., object]:
+    """Wrap *impl* so calls dispatch through the scenario registry as *name*."""
+    signature = inspect.signature(impl)
+
+    @functools.wraps(impl)
+    def entry_point(*args, **kwargs):
+        from repro.experiments.runner import run_scenario
+        bound = signature.bind(*args, **kwargs)
+        params = {}
+        for param_name, value in bound.arguments.items():
+            kind = signature.parameters[param_name].kind
+            if kind == inspect.Parameter.VAR_KEYWORD:
+                params.update(value)          # flatten the **kwargs catch-all
+            elif kind == inspect.Parameter.VAR_POSITIONAL:
+                raise TypeError(
+                    f"scenario entry point {name!r} does not support "
+                    f"*args parameters")
+            else:
+                params[param_name] = value
+        return run_scenario(name, **params)
+
+    entry_point.scenario_name = name
+    entry_point.scenario_impl = impl
+    return entry_point

@@ -1,4 +1,5 @@
-"""Collaborative BitTorrent-style transfer protocol.
+"""Collaborative BitTorrent-style transfer protocol (the paper's collective
+out-of-band protocol, §3.4.2, evaluated in §4.3 and §5).
 
 The paper distributes large shared files (the 2.68 GB Genebase, the
 application binary) with BitTorrent because a swarm's aggregate upload

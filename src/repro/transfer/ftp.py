@@ -1,4 +1,5 @@
-"""Client/server FTP transfer protocol.
+"""Client/server FTP transfer protocol (one of the paper's out-of-band
+protocols, §3.4.2; the workhorse of the §4.3 distribution benchmarks).
 
 The paper uses ProFTPD as file server and the Apache commons-net client.
 FTP is a point-to-point pull: the receiver opens a control connection to the

@@ -1,4 +1,4 @@
-"""HTTP transfer protocol.
+"""HTTP transfer protocol (one of the paper's out-of-band protocols, §3.4.2).
 
 HTTP GET from a web server: functionally the same point-to-point pull as
 FTP but with a much lighter connection setup (a single request/response
