@@ -20,6 +20,7 @@ from repro.bench.scale import (
     run_scale_grid,
     run_sync_storm,
 )
+from repro.bench.sweep import run_sweep_parallel
 
 from benchmarks.conftest import emit
 
@@ -179,4 +180,53 @@ class TestScaleGrid:
                 "sync_count", "assignments", "entries_examined",
                 "allocation_passes", "recompute_requests",
                 "processed_events")
+        })
+
+
+class TestSweepParallel:
+    def test_parallel_sweep_identical_and_cached(self):
+        """The sweep executor on an 8-point Figure-3-style grid.
+
+        The invariants are hardware-independent and always asserted: the
+        parallel merged JSON is byte-identical to serial, and the warm-cache
+        pass hits on every point without executing anything.  The ≥2×
+        parallel wall-clock speedup is only asserted where a process pool
+        can physically deliver it (≥4 effective cores at full scale); the
+        measured walls and the core count are recorded in BENCH.json either
+        way, so the trajectory stays honest on throttled CI runners.
+        """
+        if quick_scale():
+            metrics = run_sweep_parallel(sizes_mb=(2.0, 4.0),
+                                         node_counts=(10, 20), jobs=2)
+        else:
+            metrics = run_sweep_parallel()          # 8 points, jobs=4
+        emit("Parallel sweep (%d points, %d jobs, %s cpus)"
+             % (metrics["points"], metrics["jobs"], metrics["cpus"]),
+             format_table([
+                 {k: metrics[k] for k in (
+                     "serial_wall_s", "parallel_wall_s", "warm_wall_s",
+                     "speedup", "warm_speedup")}
+             ]))
+
+        checks = shape_check("parallel sweep")
+        checks.is_true("parallel output byte-identical to serial",
+                       metrics["identical"])
+        checks.is_true("no point failed", metrics["failed"] == 0)
+        checks.is_true("warm pass hits every point",
+                       metrics["warm_cache_hits"] == metrics["points"])
+        checks.is_true("warm pass executes nothing",
+                       metrics["warm_executed"] == 0)
+        checks.ratio_at_least("warm-cache speedup over serial",
+                              metrics["warm_speedup"], 2.0)
+        if not quick_scale() and (os.cpu_count() or 1) >= 4:
+            checks.ratio_at_least("process-pool speedup over serial",
+                                  metrics["speedup"], 2.0)
+        checks.verify()
+
+        point_id = "sweep-parallel-quick" if quick_scale() else "sweep-parallel"
+        record_bench_point(point_id, {
+            k: metrics[k] for k in (
+                "scenario", "target", "points", "jobs", "cpus", "identical",
+                "serial_wall_s", "parallel_wall_s", "warm_wall_s",
+                "speedup", "warm_speedup", "warm_cache_hits")
         })

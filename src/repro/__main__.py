@@ -8,11 +8,18 @@ Subcommands:
   scenario; the JSON written by ``--out`` is deterministic (same seed →
   byte-identical bytes).
 * ``sweep NAME --grid k=v1,v2 [--grid ...] [--set k=v ...] [--out f.json]``
-  — the cartesian product of one or more parameter axes.
+  — the cartesian product of one or more parameter axes, executed by the
+  parallel sweep engine: ``--jobs N`` runs points on a process pool
+  (byte-identical output to ``--jobs 1``), a content-addressed result cache
+  (on by default; ``--cache-dir``/``--no-cache``) skips already-computed
+  points, ``--retries K`` re-runs crashing points, and a point that still
+  fails becomes a structured failure entry in the JSON (exit code 1).
+* ``cache ls|stats|clear`` — inspect or empty the sweep result cache.
 
 Parameter values (``--set``/``--grid``) are parsed as JSON when possible
 (``replica=5`` → int, ``sizes_mb=[10,100]`` → list) and fall back to plain
-strings (``protocol=ftp``).
+strings (``protocol=ftp``).  Malformed assignments and unknown parameter
+names are reported as one-line errors with exit code 2.
 
 Examples::
 
@@ -21,6 +28,8 @@ Examples::
     python -m repro run fig4 --out fig4.json
     python -m repro run distribution --set protocol=bittorrent --set size_mb=100
     python -m repro sweep fig4 --grid replica=3,5 --grid crash_interval_s=10,20
+    python -m repro sweep fig3a --grid "sizes_mb=[[10],[100]]" --jobs 4 --retries 1
+    python -m repro cache stats
 """
 
 from __future__ import annotations
@@ -33,13 +42,14 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bench.reporting import format_table
 from repro.experiments import (
+    ResultCache,
     ScenarioSpec,
     UnknownScenarioError,
     default_registry,
+    execute_sweep,
     run_spec,
-    run_sweep,
 )
-from repro.experiments.runner import sweep_to_dict
+from repro.experiments.cache import default_cache_dir
 
 __all__ = ["main"]
 
@@ -159,18 +169,74 @@ def cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """The result cache for ``sweep``: on by default, ``--no-cache`` kills it."""
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _run_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """The result cache for ``run``: off unless ``--cache``/``--cache-dir``.
+
+    A single ``run`` is usually *meant* to execute (its summary shows live,
+    volatile quantities like wall-clock), so caching is opt-in there —
+    unlike ``sweep``, whose product is the deterministic merged JSON.
+    """
+    if args.no_cache:
+        return None
+    if args.cache or args.cache_dir is not None:
+        return ResultCache(args.cache_dir)
+    return None
+
+
+def _progress_printer(args: argparse.Namespace):
+    """Progress lines go to stderr so ``--out -`` JSON keeps stdout clean."""
+    if args.quiet:
+        return None
+    return lambda line: print(line, file=sys.stderr, flush=True)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     params = _collect_params(args.set, args.seed)
-    spec = ScenarioSpec(scenario=args.scenario, params=params)
-    result = run_spec(spec)
+    cache = _run_cache(args)
+    if cache is None and args.retries == 0:
+        # The plain path: run in-process, keep the raw results (including
+        # volatile keys like wall-clock) for the summary.
+        spec = ScenarioSpec(scenario=args.scenario, params=params)
+        result = run_spec(spec)
+        if args.out is not None:
+            _write_output(result.to_json(), args.out)
+        # With '--out -' the JSON owns stdout; the summary would corrupt it.
+        if not args.quiet and args.out != "-":
+            ref = (f" [{result.definition.paper_ref}]"
+                   if result.definition.paper_ref else "")
+            print(f"# scenario {result.spec.scenario}{ref}"
+                  + (f" -> {args.out}" if args.out not in (None, "-") else ""))
+            print(_summarise(result.results))
+        return 0
+
+    # Cache and/or retries requested: a run is a one-point sweep.
+    outcome = execute_sweep(args.scenario, {}, base_params=params,
+                            cache=cache, retries=args.retries,
+                            progress=_progress_printer(args))
+    point = outcome.points[0]
+    if not point.ok:
+        failure = point.failure
+        print(failure.traceback, file=sys.stderr, end="")
+        print(f"error: scenario {args.scenario!r} failed after "
+              f"{failure.attempts} attempt{'s' if failure.attempts != 1 else ''}"
+              f": {failure.error}: {failure.message}", file=sys.stderr)
+        return 1
+    text = json.dumps(point.run, indent=2, sort_keys=True) + "\n"
     if args.out is not None:
-        _write_output(result.to_json(), args.out)
-    # With '--out -' the JSON owns stdout; the summary would corrupt it.
+        _write_output(text, args.out)
     if not args.quiet and args.out != "-":
-        ref = f" [{result.definition.paper_ref}]" if result.definition.paper_ref else ""
-        print(f"# scenario {result.spec.scenario}{ref}"
+        ref = f" [{outcome.paper_ref}]" if outcome.paper_ref else ""
+        cached = " (cached)" if point.cached else ""
+        print(f"# scenario {outcome.scenario}{ref}{cached}"
               + (f" -> {args.out}" if args.out not in (None, "-") else ""))
-        print(_summarise(result.results))
+        print(_summarise(point.run["results"]))
     return 0
 
 
@@ -184,18 +250,49 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"axis: --grid {name}={','.join(map(str, grid[name] + values))}")
         grid[name] = values
     base = _collect_params(args.set, args.seed)
-    runs = run_sweep(args.scenario, grid, base_params=base)
-    doc = sweep_to_dict(args.scenario, grid, runs)
-    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    outcome = execute_sweep(
+        args.scenario, grid, base_params=base, jobs=args.jobs,
+        cache=_sweep_cache(args), retries=args.retries,
+        progress=_progress_printer(args),
+        derive_seeds=args.seed_per_point)
+    text = outcome.to_json()
     if args.out is not None:
         _write_output(text, args.out)
     if not args.quiet and args.out != "-":
-        print(f"# swept {args.scenario}: "
-              f"{len(runs)} runs over axes {sorted(grid)}"
+        stats = outcome.stats
+        print(f"# swept {outcome.scenario}: {stats.points} points over axes "
+              f"{sorted(grid)} ({stats.executed} run, "
+              f"{stats.cache_hits} cached, {stats.failed} failed)"
               + (f" -> {args.out}" if args.out not in (None, "-") else ""))
-        for run in runs:
-            overrides = {axis: run.spec.params[axis] for axis in sorted(grid)}
-            print(f"  {overrides}")
+        for point in outcome.failures():
+            overrides = {axis: point.spec.params.get(axis)
+                         for axis in sorted(grid)}
+            print(f"  FAILED {overrides}: {point.failure.error}: "
+                  f"{point.failure.message}")
+    return 0 if outcome.ok else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result"
+              f"{'s' if removed != 1 else ''} from {cache.root}")
+        return 0
+    entries = cache.entries()
+    if args.action == "stats":
+        total = sum(int(entry["bytes"]) for entry in entries)
+        scenarios = sorted({str(entry["scenario"]) for entry in entries})
+        print(f"cache dir : {cache.root}")
+        print(f"entries   : {len(entries)}")
+        print(f"bytes     : {total}")
+        print(f"scenarios : {', '.join(scenarios) if scenarios else '(none)'}")
+        return 0
+    # ls
+    rows = [{"key": str(entry["key"])[:16], "scenario": entry["scenario"],
+             "bytes": entry["bytes"]} for entry in entries]
+    print(format_table(rows, title=f"{len(rows)} cached results "
+                                   f"in {cache.root}"))
     return 0
 
 
@@ -225,6 +322,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write deterministic JSON results ('-' = stdout)")
     p_run.add_argument("--quiet", action="store_true",
                        help="suppress the human-readable summary")
+    p_run.add_argument("--retries", type=int, default=0, metavar="K",
+                       help="re-run a crashing scenario up to K extra times")
+    p_run.add_argument("--cache", action="store_true",
+                       help="reuse/store this run in the result cache")
+    p_run.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help=f"result cache directory (implies --cache; "
+                            f"default {default_cache_dir()})")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="never touch the result cache")
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser("sweep",
@@ -237,11 +343,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fixed override applied to every run")
     p_sweep.add_argument("--seed", type=int, default=None,
                          help="RNG seed applied to every run")
+    p_sweep.add_argument("--seed-per-point", action="store_true",
+                         help="derive a deterministic per-point seed from "
+                              "the base seed and each point's overrides")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="run points on an N-process pool "
+                              "(output byte-identical to --jobs 1)")
+    p_sweep.add_argument("--retries", type=int, default=0, metavar="K",
+                         help="re-run a crashing point up to K extra times")
+    p_sweep.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help=f"result cache directory "
+                              f"(default {default_cache_dir()})")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="always execute every point")
     p_sweep.add_argument("--out", metavar="FILE",
                          help="write the sweep JSON ('-' = stdout)")
     p_sweep.add_argument("--quiet", action="store_true",
-                         help="suppress the run-by-run summary")
+                         help="suppress progress lines and the summary")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect or clear the sweep result cache")
+    p_cache.add_argument("action", choices=("ls", "stats", "clear"))
+    p_cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help=f"result cache directory "
+                              f"(default {default_cache_dir()})")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 
@@ -254,6 +381,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     except ValueError as exc:
+        # Malformed --set/--grid values, unknown or missing parameter names:
+        # a clean one-line diagnostic, never a traceback.  (Deliberately not
+        # TypeError — that would misclassify genuine scenario crashes on the
+        # plain `run` path as malformed CLI input.)
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

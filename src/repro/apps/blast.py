@@ -41,7 +41,12 @@ __all__ = ["BlastParameters", "build_blast_application"]
 
 @dataclass(frozen=True)
 class BlastParameters:
-    """Sizes and calibrated costs of the BLAST workload."""
+    """Sizes and calibrated costs of the BLAST workload (paper §5).
+
+    Defaults mirror the paper's Listing 3 data sets (4.45 MB Application,
+    2.68 GB compressed Genebase, small Sequences/Results) and calibrate the
+    compute model so the Figure 5/6 shapes hold.
+    """
 
     #: NCBI BLAST binary size (paper: 4.45 MB)
     application_mb: float = 4.45

@@ -62,7 +62,12 @@ class SignatureVerdict:
 
 
 class CheckpointManager:
-    """Replicated, signature-indexed checkpoints for one application run."""
+    """Replicated, signature-indexed checkpoints for one application run.
+
+    The §2.2 long-running-application pattern: checkpoint images ride the
+    fault-tolerant replication of the Data Scheduler, while their checksums
+    are published in the DHT for sabotage detection without moving bytes.
+    """
 
     def __init__(self, agent: HostAgent, application: str,
                  replica: int = 2, protocol: str = "http",

@@ -88,7 +88,12 @@ class _ReducerHandler(ActiveDataEventHandler):
 
 
 class MapReduceJob:
-    """One MapReduce job over a BitDew runtime."""
+    """One MapReduce job over a BitDew runtime.
+
+    The programming abstraction the paper's conclusion announces as future
+    work, expressed with the §5 idioms only: scatter for slice placement,
+    attribute affinity for the shuffle, gather through a pinned Collector.
+    """
 
     def __init__(
         self,

@@ -112,7 +112,13 @@ class _CollectorHandler(ActiveDataEventHandler):
 
 
 class MasterWorkerApplication:
-    """A master/worker application expressed purely through data attributes."""
+    """A master/worker application expressed purely through data attributes.
+
+    The paper's §5 pattern verbatim: tasks are data scheduled to hosts,
+    workers react to data-copy events, results flow back through affinity
+    to the master's pinned Collector, and deleting the Collector obsoletes
+    every dependent datum (the clean-up idiom closing §5).
+    """
 
     def __init__(
         self,

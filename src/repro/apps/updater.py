@@ -63,7 +63,12 @@ class _UpdateeHandler(ActiveDataEventHandler):
 
 
 class UpdaterApplication:
-    """Network file update driven entirely by data attributes."""
+    """Network file update driven entirely by data attributes.
+
+    The library form of Listings 1 and 2 (§3.3): ``{replica = -1,
+    oob = bittorrent, abstime}`` pushes the update everywhere, affinity to
+    the master's pinned collector carries the acknowledgements back.
+    """
 
     def __init__(self, runtime: BitDewEnvironment, master_host: Host,
                  update_size_mb: float = 64.0,

@@ -23,7 +23,8 @@ Figure 4       :func:`repro.bench.fault.run_fig4`
 Figure 5       :func:`repro.bench.blast.run_fig5`
 Figure 6       :func:`repro.bench.blast.run_fig6`
 Scale (BENCH)  :func:`repro.bench.scale.run_sync_storm` /
-               :func:`repro.bench.scale.run_scale_grid`
+               :func:`repro.bench.scale.run_scale_grid` /
+               :func:`repro.bench.sweep.run_sweep_parallel`
 =============  ==========================================================
 """
 
@@ -42,6 +43,7 @@ from repro.bench.scale import (
     run_scale_grid,
     run_sync_storm,
 )
+from repro.bench.sweep import run_sweep_parallel
 
 __all__ = [
     "format_table",
@@ -54,6 +56,7 @@ __all__ = [
     "run_fig6",
     "run_ftp_alone",
     "run_scale_grid",
+    "run_sweep_parallel",
     "run_sync_storm",
     "run_table2",
     "run_table2_cell",

@@ -1,4 +1,13 @@
-"""Chord-style distributed hash table.
+"""Chord-style distributed hash table (the paper's DKS substrate, §3.4.1).
+
+The paper's prototype builds its Distributed Data Catalog on the DKS DHT
+("DKS provides us an efficient and reliable implementation of a DHT");
+Table 3 (§4.2) measures publishing through it against the centralized
+catalog.  DKS itself is unavailable, so per ``DESIGN.md`` this module
+substitutes a Chord ring with the observable properties the paper relies
+on: ``O(log n)`` multi-hop key routing (each hop chargeable with network
+latency and per-node service time), per-node key storage, replication over
+successors, and survival of node departure and failure.
 
 A faithful, simulation-friendly Chord implementation:
 
@@ -49,7 +58,12 @@ def _in_interval(x: int, a: int, b: int, modulus: int,
 
 @dataclass
 class LookupResult:
-    """Outcome of a key lookup: the responsible node and the route taken."""
+    """Outcome of a key lookup: the responsible node and the route taken.
+
+    The hop path is what the Table 3 cost model charges: the DDC bills one
+    network latency plus one node service time per hop (§4.2 explains the
+    DHT's publish cost by exactly this multi-hop routing).
+    """
 
     key_id: int
     node: "ChordNode"
@@ -108,7 +122,13 @@ class ChordNode:
 
 
 class ChordRing:
-    """The ring: membership, routing state, lookup, storage with replication."""
+    """The ring: membership, routing state, lookup, storage with replication.
+
+    Plays the role of DKS in the paper's prototype (§3.4.1): the reservoir
+    nodes participating in the Distributed Data Catalog form this ring, and
+    ``replication`` successors keep each key alive when volatile nodes
+    leave or crash — the property Figure 4's storage scenario depends on.
+    """
 
     def __init__(self, bits: int = 32, replication: int = 2,
                  successor_list_size: int = 4):

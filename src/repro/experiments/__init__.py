@@ -20,6 +20,13 @@ Layers:
 * :mod:`repro.experiments.runner` — resolve a spec against the registry, run
   it, and shape the outcome into deterministic, JSON-serialisable results
   (same seed → byte-identical output).
+* :mod:`repro.experiments.executor` — the sweep engine: process-pool
+  execution (``--jobs N`` byte-identical to serial), content-derived
+  per-point seeds, crash isolation with structured failure entries and
+  retries, progress reporting.
+* :mod:`repro.experiments.cache` — the content-addressed result cache
+  (scenario + resolved params + code-version salt) that lets a re-run
+  sweep skip every already-computed point.
 * :mod:`repro.experiments.scenarios` — the built-in catalog: one scenario per
   paper table/figure (Tables 1-3, Figures 3a-6), the BENCH scale runs, and
   scenarios beyond the paper (flash crowds, Weibull churn, catalog load,
@@ -44,15 +51,28 @@ from repro.experiments.runner import (
     run_spec,
     run_sweep,
 )
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.executor import (
+    SweepFailure,
+    SweepOutcome,
+    derive_point_seed,
+    execute_sweep,
+)
 from repro.experiments.entry import registered_entry_point
 
 __all__ = [
+    "ResultCache",
     "ScenarioDefinition",
     "ScenarioRegistry",
     "ScenarioResult",
     "ScenarioSpec",
+    "SweepFailure",
+    "SweepOutcome",
     "UnknownScenarioError",
+    "default_cache_dir",
     "default_registry",
+    "derive_point_seed",
+    "execute_sweep",
     "expand_grid",
     "registered_entry_point",
     "run_scenario",

@@ -121,21 +121,58 @@ def run_sweep(
     grid: Mapping[str, Sequence[object]],
     base_params: Optional[Mapping[str, object]] = None,
     registry: Optional[ScenarioRegistry] = None,
+    *,
+    jobs: int = 1,
+    cache=None,
+    retries: int = 0,
+    derive_seeds: bool = False,
+    progress=None,
 ) -> List[ScenarioResult]:
     """Run the cartesian product of *grid* over scenario *name*.
 
     ``base_params`` applies to every run; each grid combination overrides it.
     Returns one :class:`ScenarioResult` per combination, in grid order.
+
+    With the defaults this is the original in-process serial path and the
+    returned results carry the runner's *raw* (unscrubbed) output.  Passing
+    ``jobs`` > 1, a :class:`~repro.experiments.cache.ResultCache`,
+    ``retries`` or ``derive_seeds`` routes through the sweep executor
+    (:func:`repro.experiments.executor.execute_sweep`): results then hold
+    the *serialised* (volatile-key-scrubbed) run documents — serialising
+    either form yields byte-identical sweep JSON — and a point that keeps
+    raising aborts with :class:`~repro.experiments.executor.SweepFailure`
+    instead of propagating the bare exception.
     """
     registry = registry if registry is not None else default_registry()
-    base = dict(base_params or {})
-    results = []
-    for overrides in expand_grid(grid):
-        params = dict(base)
-        params.update(overrides)
-        results.append(run_spec(ScenarioSpec(scenario=name, params=params),
-                                registry=registry))
-    return results
+    if jobs <= 1 and cache is None and retries == 0 \
+            and not derive_seeds and progress is None:
+        base = dict(base_params or {})
+        results = []
+        for overrides in expand_grid(grid):
+            params = dict(base)
+            params.update(overrides)
+            results.append(run_spec(ScenarioSpec(scenario=name, params=params),
+                                    registry=registry))
+        return results
+
+    from repro.experiments.executor import SweepFailure, execute_sweep
+    outcome = execute_sweep(
+        name, grid, base_params=base_params, registry=registry, jobs=jobs,
+        cache=cache, retries=retries, progress=progress,
+        derive_seeds=derive_seeds)
+    if not outcome.ok:
+        failures = outcome.failures()
+        first = failures[0].failure
+        raise SweepFailure(
+            f"{len(failures)} of {outcome.stats.points} sweep points failed; "
+            f"first: {first.error}: {first.message}", failures)
+    definition = registry.get(name)
+    return [
+        ScenarioResult(spec=ScenarioSpec.from_dict(point.run["spec"]),
+                       results=point.run["results"],
+                       definition=definition)
+        for point in outcome.points
+    ]
 
 
 def sweep_to_dict(name: str, grid: Mapping[str, Sequence[object]],

@@ -30,6 +30,7 @@ from repro.bench.scale import (
     _run_scale_grid,
     _run_sync_storm,
 )
+from repro.bench.sweep import _run_sweep_parallel
 from repro.bench.transfer import (
     _run_distribution,
     _run_fig3a,
@@ -124,6 +125,13 @@ def build_registry() -> ScenarioRegistry:
         title="Full runtime at ≥1000 hosts × ≥5000 data items",
         paper_ref="beyond the paper (BENCH trajectory)", group="scale",
         tags=("bench",), volatile_keys=_WALL_KEYS)
+    registry.register(
+        "sweep-parallel", _run_sweep_parallel,
+        title="Sweep executor throughput: serial vs process pool vs cache",
+        paper_ref="beyond the paper (BENCH trajectory)", group="scale",
+        tags=("bench", "sweep"),
+        volatile_keys=("serial_wall_s", "parallel_wall_s", "warm_wall_s",
+                       "speedup", "warm_speedup"))
 
     # ---------------------------------------------------------------- extra
     registry.register(
