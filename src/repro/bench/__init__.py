@@ -35,6 +35,7 @@ from repro.bench.transfer import (
     run_fig3bc,
     run_ftp_alone,
 )
+from repro.bench.fabric import run_fabric_failover, run_fabric_scale
 from repro.bench.fault import run_fig4
 from repro.bench.blast import run_fig5, run_fig6
 from repro.bench.reporting import format_table, shape_check
@@ -49,6 +50,8 @@ __all__ = [
     "format_table",
     "run_completion_curve",
     "run_distribution",
+    "run_fabric_failover",
+    "run_fabric_scale",
     "run_fig3a",
     "run_fig3bc",
     "run_fig4",

@@ -35,9 +35,11 @@ from repro.dht.chord import ChordRing
 from repro.dht.ddc import DistributedDataCatalog
 from repro.net.flows import Network
 from repro.net.host import Host
-from repro.net.rpc import ChannelKind, RpcChannel, RpcError
+from repro.net.rpc import ChannelKind, FailoverPolicy, RpcChannel, RpcError
 from repro.net.topology import Topology
 from repro.services.container import ServiceContainer
+from repro.services.fabric import ServiceFabric
+from repro.services.router import FabricRouter, StaticRouter
 from repro.sim.kernel import Environment
 from repro.sim.rng import RandomStreams
 from repro.storage.database import DatabaseEngine
@@ -134,7 +136,6 @@ class HostAgent:
         self.attached_at = self.env.now
         self.sync_rounds = 0
         self._running = False
-        self._endpoints = runtime.container.endpoints()
 
     # ------------------------------------------------------------------ shared services
     @property
@@ -204,9 +205,16 @@ class HostAgent:
 
     # ------------------------------------------------------------------ RPC
     def invoke(self, service: str, method: str, *args, **kwargs):
-        """Generator: call a D* service method over this agent's channel."""
-        endpoint = self._endpoints[service]
-        return self.channel.invoke(endpoint, method, *args, **kwargs)
+        """Generator: call a D* service method over this agent's channel.
+
+        The runtime's :class:`~repro.services.router.ServiceRouter` resolves
+        which service instance serves the call: the classic deployment's
+        single endpoint (a plain passthrough), or — under a fabric
+        deployment — the live replica of the responsible shard, with
+        failover retries.
+        """
+        return self.runtime.router.invoke(self.channel, service, method,
+                                          *args, **kwargs)
 
     # ------------------------------------------------------------------ data movement
     def upload(self, data: Data, content: FileContent,
@@ -432,27 +440,72 @@ class BitDewEnvironment:
         account_monitor_bandwidth: bool = True,
         ddc: Optional[DistributedDataCatalog] = None,
         seed: int = 0,
+        service_hosts: Optional[int] = None,
+        shards: int = 1,
+        service_replicas: int = 1,
+        failover_policy: Optional[FailoverPolicy] = None,
+        host_heartbeat_period_s: float = 1.0,
+        host_timeout_multiplier: float = 3.0,
+        host_sweep_period_s: float = 0.25,
     ):
         self.topology = topology
         self.env: Environment = topology.env
         self.network: Network = topology.network
         self.sync_period_s = float(sync_period_s)
         self.rng = RandomStreams(seed)
-        self.container = ServiceContainer(
-            self.env, topology.service_host, self.network,
-            engine=engine, use_connection_pool=use_connection_pool,
-            registry=registry,
-            heartbeat_period_s=heartbeat_period_s,
-            timeout_multiplier=timeout_multiplier,
-            monitor_period_s=monitor_period_s,
-            max_data_schedule=max_data_schedule,
-            account_monitor_bandwidth=account_monitor_bandwidth,
-        )
+        # -- deployment spec ------------------------------------------------
+        # ``service_hosts=N, shards=S, service_replicas=k`` deploys the D*
+        # services as a fabric over the topology's first N stable service
+        # hosts.  The default (one host, one shard, one replica) keeps the
+        # classic single-container deployment, byte-identical to the
+        # pre-fabric runtime.
+        n_service = (int(service_hosts) if service_hosts is not None
+                     else len(topology.service_hosts))
+        if n_service > len(topology.service_hosts):
+            raise ValueError(
+                f"deployment asks for {n_service} service hosts but the "
+                f"topology provides {len(topology.service_hosts)}")
+        fabric_mode = shards > 1 or service_replicas > 1 or n_service > 1
+        if fabric_mode:
+            self.fabric = ServiceFabric(
+                self.env, topology.service_hosts[:n_service], self.network,
+                shards=shards, replicas=service_replicas,
+                engine=engine, use_connection_pool=use_connection_pool,
+                registry=registry,
+                heartbeat_period_s=heartbeat_period_s,
+                timeout_multiplier=timeout_multiplier,
+                monitor_period_s=monitor_period_s,
+                max_data_schedule=max_data_schedule,
+                account_monitor_bandwidth=account_monitor_bandwidth,
+                host_heartbeat_period_s=host_heartbeat_period_s,
+                host_timeout_multiplier=host_timeout_multiplier,
+                host_sweep_period_s=host_sweep_period_s,
+                failover_policy=failover_policy,
+            )
+            self.container = self.fabric
+            self.router = FabricRouter(self.fabric)
+        else:
+            self.fabric = None
+            self.container = ServiceContainer(
+                self.env, topology.service_host, self.network,
+                engine=engine, use_connection_pool=use_connection_pool,
+                registry=registry,
+                heartbeat_period_s=heartbeat_period_s,
+                timeout_multiplier=timeout_multiplier,
+                monitor_period_s=monitor_period_s,
+                max_data_schedule=max_data_schedule,
+                account_monitor_bandwidth=account_monitor_bandwidth,
+            )
+            self.router = StaticRouter(self.container.endpoints())
         self.container.start()
         self.ddc = ddc if ddc is not None else DistributedDataCatalog(
             self.env, ChordRing())
-        # The service host participates in the DHT so the ring is never empty.
-        self.ddc.join(topology.service_host.name)
+        # The service host(s) participate in the DHT so the ring is never empty.
+        if self.fabric is not None:
+            for host in self.fabric.hosts:
+                self.ddc.join(host.name)
+        else:
+            self.ddc.join(topology.service_host.name)
         self.agents: Dict[str, HostAgent] = {}
 
     # ------------------------------------------------------------------ attachment
@@ -558,3 +611,14 @@ class BitDewEnvironment:
         host.recover()
         self.agents.pop(host.name, None)
         return self.attach(host, auto_sync=auto_sync)
+
+    def crash_service_host(self, host: Host) -> None:
+        """Crash a fabric service host: its endpoints raise RpcError until
+        the fabric's host detector declares it dead and the router reroutes
+        the affected shards to live replicas (heartbeat-driven failover)."""
+        host.fail()
+
+    def recover_service_host(self, host: Host) -> None:
+        """Bring a service host back; its heartbeats resume, the detector
+        marks it alive and the router prefers its shards' primaries again."""
+        host.recover()

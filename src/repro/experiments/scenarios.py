@@ -18,6 +18,7 @@ from repro.experiments.registry import ScenarioRegistry
 # The bench modules import only repro.experiments.entry at module level, so
 # importing their private implementations here is cycle-free.
 from repro.bench.blast import _run_blast_once, _run_fig5, _run_fig6
+from repro.bench.fabric import _run_fabric_failover, _run_fabric_scale
 from repro.bench.fault import _run_fig4
 from repro.bench.micro import (
     _run_table2,
@@ -125,6 +126,16 @@ def build_registry() -> ScenarioRegistry:
         title="Full runtime at ≥1000 hosts × ≥5000 data items",
         paper_ref="beyond the paper (BENCH trajectory)", group="scale",
         tags=("bench",), volatile_keys=_WALL_KEYS)
+    registry.register(
+        "fabric-scale", _run_fabric_scale,
+        title="Flash-crowd sync storm: centralized container vs sharded fabric",
+        paper_ref="beyond the paper (distributed services, §3.4; BENCH trajectory)",
+        group="scale", tags=("bench", "fabric"))
+    registry.register(
+        "fabric-failover", _run_fabric_failover,
+        title="Service-host crash: heartbeat-driven shard failover and recovery",
+        paper_ref="beyond the paper (service architecture, §3.1/§3.4)",
+        group="scale", tags=("bench", "fabric", "churn"))
     registry.register(
         "sweep-parallel", _run_sweep_parallel,
         title="Sweep executor throughput: serial vs process pool vs cache",

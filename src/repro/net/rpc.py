@@ -24,15 +24,30 @@ from __future__ import annotations
 import enum
 import inspect
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim.kernel import Environment
 
-__all__ = ["ChannelKind", "RpcChannel", "RpcEndpoint", "RpcError"]
+__all__ = [
+    "ChannelKind",
+    "FailoverPolicy",
+    "RpcChannel",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcResponseLostError",
+]
 
 
 class RpcError(RuntimeError):
     """Raised when an RPC cannot be completed (e.g. the service host is down)."""
+
+
+class RpcResponseLostError(RpcError):
+    """The service host failed *after* executing the call: the method ran but
+    its response never reached the client.  Failover must not blindly retry
+    these — re-executing a non-idempotent method (a synchronisation, an
+    ownership change) on a live replica would duplicate its effects.  The
+    caller decides (BitDew's pull model simply re-synchronises later)."""
 
 
 class ChannelKind(enum.Enum):
@@ -65,16 +80,47 @@ class RpcEndpoint:
     ``host`` is optional; when given, calls fail with :class:`RpcError` while
     the host is offline (this is how the transient-fault model for service
     nodes manifests to clients).
+
+    ``shard`` names the fabric shard this endpoint belongs to (e.g.
+    ``"ds-2"``); it is included in :meth:`label` so a multi-shard
+    :class:`RpcError` identifies which shard of which service failed.
     """
 
     service: Any
     host: Any = None
     name: Optional[str] = None
+    shard: Optional[str] = None
 
     def label(self) -> str:
-        if self.name:
-            return self.name
-        return type(self.service).__name__
+        # Memoized: endpoints are long-lived and their fields never change
+        # after construction, and invoke() reads the label on every call.
+        cached = self.__dict__.get("_label")
+        if cached is None:
+            base = self.name if self.name else type(self.service).__name__
+            cached = f"{base}[{self.shard}]" if self.shard is not None else base
+            self.__dict__["_label"] = cached
+        return cached
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """Retry-on-:class:`RpcError` policy for fabric-routed invocations.
+
+    Each failed attempt waits ``backoff_s`` before the endpoint is resolved
+    again — by then the fabric's heartbeat detector may have declared the
+    dead service host and rerouted the shard to a live replica.  After
+    ``max_attempts`` total attempts the request is *lost* (counted on the
+    channel) and the last :class:`RpcError` propagates to the caller.
+    """
+
+    max_attempts: int = 16
+    backoff_s: float = 0.25
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be non-negative")
 
 
 class RpcChannel:
@@ -98,6 +144,18 @@ class RpcChannel:
         #: Counters useful for protocol-overhead accounting (Figure 3b/3c).
         self.calls = 0
         self.total_latency_s = 0.0
+        #: Marshalling accounting: payload KB pushed through the channel and
+        #: the per-KB serialisation latency it cost (part of total_latency_s).
+        self.marshalled_kb = 0.0
+        self.marshalling_latency_s = 0.0
+        #: Per-endpoint-label accounting (fabric shards show up individually,
+        #: e.g. ``"DataScheduler[ds-2]"`` — the per-shard latency breakdown).
+        self.calls_by_label: Dict[str, int] = {}
+        self.latency_by_label: Dict[str, float] = {}
+        #: Failover accounting: attempts that failed and were retried, and
+        #: requests lost after exhausting a policy's attempts.
+        self.failover_attempts = 0
+        self.lost_requests = 0
 
     def call_cost(self, payload_kb: float = 1.0) -> float:
         """Latency charged for one round trip carrying ``payload_kb`` KB."""
@@ -118,8 +176,14 @@ class RpcChannel:
             )
         target = getattr(endpoint.service, method)
         cost = self.call_cost(payload_kb)
+        label = endpoint.label()
         self.calls += 1
         self.total_latency_s += cost
+        self.marshalled_kb += max(0.0, payload_kb)
+        self.marshalling_latency_s += self.per_kb_s * max(0.0, payload_kb)
+        self.calls_by_label[label] = self.calls_by_label.get(label, 0) + 1
+        self.latency_by_label[label] = (
+            self.latency_by_label.get(label, 0.0) + cost)
         if cost > 0:
             yield self.env.timeout(cost / 2.0)
         result = target(*args, **kwargs)
@@ -128,11 +192,51 @@ class RpcChannel:
         if cost > 0:
             yield self.env.timeout(cost / 2.0)
         if endpoint.host is not None and not endpoint.host.online:
-            raise RpcError(
+            raise RpcResponseLostError(
                 f"service host {endpoint.host.name} failed during the call "
                 f"to {endpoint.label()}.{method}"
             )
         return result
+
+    def invoke_failover(self, resolve: Callable[[], RpcEndpoint], method: str,
+                        *args, policy: Optional[FailoverPolicy] = None,
+                        payload_kb: float = 1.0, **kwargs):
+        """Generator: invoke with retry-on-:class:`RpcError` failover.
+
+        ``resolve`` is called before *every* attempt and returns the endpoint
+        to try (the fabric router resolves the currently-live replica of the
+        target shard; it raises :class:`RpcError` itself when no replica is
+        believed alive).  A failed attempt waits ``policy.backoff_s`` and
+        re-resolves, so a crashed service host is retried until the
+        heartbeat detector reroutes the shard — or the attempt budget runs
+        out, which counts the request as lost and re-raises.
+
+        At-most-once execution: a :class:`RpcResponseLostError` — the host
+        died *after* the method ran, only the response was lost — is never
+        retried (re-executing a non-idempotent call on a replica would
+        duplicate its effects); it counts as a lost request and propagates
+        for the caller's own recovery (the pull model's next sync).
+        """
+        if policy is None:
+            policy = FailoverPolicy()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                endpoint = resolve()
+                result = yield from self.invoke(
+                    endpoint, method, *args, payload_kb=payload_kb, **kwargs)
+                return result
+            except RpcResponseLostError:
+                self.lost_requests += 1
+                raise
+            except RpcError:
+                if attempt >= policy.max_attempts:
+                    self.lost_requests += 1
+                    raise
+                self.failover_attempts += 1
+            if policy.backoff_s > 0:
+                yield self.env.timeout(policy.backoff_s)
 
 
 def channel_for(env: Environment, kind: ChannelKind) -> RpcChannel:

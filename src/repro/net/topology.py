@@ -116,24 +116,36 @@ def cluster_topology(
     lan_latency_s: float = 0.0002,
     allocator: str = "incremental",
     coalesce: bool = True,
+    n_service_hosts: int = 1,
 ) -> Topology:
-    """A single LAN cluster: one stable service/file-server node + workers.
+    """A single LAN cluster: stable service/file-server node(s) + workers.
 
     Defaults correspond to the GdX cluster used for the micro-benchmarks: a
     GigE LAN (~125 MB/s per NIC) and sub-millisecond latency.  The service
     host doubles as FTP server and BitTorrent initial seeder, exactly as in
     the paper's stress setup (§4.3).
+
+    ``n_service_hosts`` > 1 adds further stable hosts (same links) for the
+    service-fabric deployments; the primary keeps the classic
+    ``{cluster}-service`` name, so single-host behaviour is unchanged.
     """
     if n_workers < 0:
         raise ValueError("n_workers must be non-negative")
+    if n_service_hosts < 1:
+        raise ValueError("n_service_hosts must be at least 1")
     network = Network(env, default_latency_s=lan_latency_s,
                       allocator=allocator, coalesce=coalesce)
-    server = Host(
-        f"{cluster}-service", cluster=cluster,
-        uplink_mbps=server_link_mbps, downlink_mbps=server_link_mbps,
-        cpu_factor=cpu_factor, stable=True,
-    )
-    network.add_host(server)
+    servers = []
+    for i in range(n_service_hosts):
+        name = f"{cluster}-service" if i == 0 else f"{cluster}-service{i + 1}"
+        server = Host(
+            name, cluster=cluster,
+            uplink_mbps=server_link_mbps, downlink_mbps=server_link_mbps,
+            cpu_factor=cpu_factor, stable=True,
+        )
+        network.add_host(server)
+        servers.append(server)
+    server = servers[0]
     workers = []
     for i in range(n_workers):
         worker = Host(
@@ -143,7 +155,7 @@ def cluster_topology(
         )
         network.add_host(worker)
         workers.append(worker)
-    return Topology(env=env, network=network, service_hosts=[server],
+    return Topology(env=env, network=network, service_hosts=servers,
                     worker_hosts=workers, name=f"cluster-{cluster}")
 
 

@@ -15,28 +15,43 @@ environment:
   data attributes and generates transfer orders (Algorithm 1); owns the
   fault-tolerance logic for volatile reservoir hosts.
 
-plus two supporting modules:
+plus the deployment modules:
 
 * :mod:`repro.services.heartbeat` — the timeout-based failure detector used
   for volatile nodes (failures detected after 3 missed heartbeats in the
-  paper's experiments).
-* :mod:`repro.services.container` — the service container that instantiates
-  and wires the D* services on a stable host.
+  paper's experiments) and, in the fabric, for the service hosts.
+* :mod:`repro.services.container` — the classic single-host deployment: the
+  service container that instantiates and wires the D* services on one
+  stable host.
+* :mod:`repro.services.fabric` — the distributed deployment: the Data
+  Catalog and Data Scheduler sharded by consistent hashing and replicated
+  over N service hosts.
+* :mod:`repro.services.router` — key → shard → live-replica routing with
+  heartbeat-driven failover (the client side of the fabric).
 """
 
 from repro.services.data_catalog import DataCatalogService
 from repro.services.data_repository import DataRepositoryService
 from repro.services.data_scheduler import DataSchedulerService, SyncResult
 from repro.services.data_transfer import DataTransferService
+from repro.services.fabric import ServiceFabric, ShardedDataCatalog, ShardedDataScheduler
 from repro.services.heartbeat import FailureDetector
 from repro.services.container import ServiceContainer
+from repro.services.router import FabricRouter, ServiceRouter, ShardRing, StaticRouter
 
 __all__ = [
     "DataCatalogService",
     "DataRepositoryService",
     "DataSchedulerService",
     "DataTransferService",
+    "FabricRouter",
     "FailureDetector",
     "ServiceContainer",
+    "ServiceFabric",
+    "ServiceRouter",
+    "ShardRing",
+    "ShardedDataCatalog",
+    "ShardedDataScheduler",
+    "StaticRouter",
     "SyncResult",
 ]

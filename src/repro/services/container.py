@@ -6,6 +6,12 @@ the four services run together on one stable node — the *service host*.
 :class:`ServiceContainer` builds them with a shared database back-end, the
 repository file system, the protocol registry and the failure detector, and
 exposes RPC endpoints for the client-side APIs.
+
+For the multi-host deployment — the Data Catalog and Data Scheduler sharded
+by consistent hashing and replicated over several service hosts with
+heartbeat-driven failover — see :mod:`repro.services.fabric` and
+:mod:`repro.services.router`.  The container remains the default: a
+single-host runtime behaves byte-identically to the pre-fabric code.
 """
 
 from __future__ import annotations

@@ -1,0 +1,288 @@
+"""Service routing: key → shard → live replica endpoint.
+
+The paper presents BitDew as "a flexible distributed service architecture";
+its prototype already distributes one service (the DHT-backed Distributed
+Data Catalog, §4.2).  This module generalises that: a
+:class:`ServiceRouter` decides, for every API-layer invocation, *which*
+service instance serves it.
+
+* :class:`StaticRouter` — the classic single-container deployment: every
+  service has exactly one endpoint; ``invoke`` is a plain passthrough to
+  :meth:`RpcChannel.invoke` (byte-identical to calling the endpoint
+  directly, which keeps the default deployment's behaviour unchanged).
+* :class:`FabricRouter` — the sharded deployment: the Data Catalog and the
+  Data Scheduler are split into *S* shards by consistent hashing
+  (:class:`ShardRing`, reusing the Chord ring math of
+  :mod:`repro.dht.chord` for key → shard routing), each shard replicated on
+  *k* service hosts.  Invocations resolve to the shard's first replica the
+  fabric's heartbeat detector believes alive, and retry with the channel's
+  failover policy — a service-host crash reroutes clients to a live replica
+  within one heartbeat timeout instead of raising :class:`RpcError`
+  forever.
+
+Routing keys are extracted per (service, method): Data Catalog calls route
+by data uid (or publish key), Data Scheduler calls by data uid — except
+``synchronize``, which scatters the host's cache view over every scheduler
+shard and gathers the per-shard :class:`SyncResult` into one, preserving
+Algorithm 1's host-visible semantics.  Methods with no key (e.g.
+``find_by_name``) scatter to all shards and merge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.dht.chord import ChordRing, chord_hash
+from repro.net.rpc import FailoverPolicy, RpcChannel, RpcEndpoint, RpcError
+from repro.services.data_scheduler import SyncResult
+
+__all__ = ["FabricRouter", "ServiceRouter", "ShardRing", "StaticRouter"]
+
+
+class ShardRing:
+    """Consistent key → shard-index hashing on a Chord ring.
+
+    Each shard joins a :class:`~repro.dht.chord.ChordRing` as ``vnodes``
+    virtual nodes; a key maps to the shard whose virtual node is the Chord
+    successor of the key's identifier — the exact ring math the Distributed
+    Data Catalog uses for key placement (§3.4.1), reused for service
+    routing.  Multiple virtual nodes per shard smooth the arc imbalance a
+    single hash point per shard would give.
+    """
+
+    def __init__(self, shards: int, label: str = "shard", bits: int = 32,
+                 vnodes: int = 16):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.shards = shards
+        self.label = label
+        self._ring = ChordRing(bits=bits, replication=1)
+        self._index: Dict[str, int] = {}
+        for i in range(shards):
+            for v in range(vnodes):
+                node = self._ring.join(f"{label}-{i}#{v}")
+                self._index[node.name] = i
+
+    def shard_for(self, key: str) -> int:
+        """The shard index responsible for *key*."""
+        if self.shards == 1:
+            return 0
+        node = self._ring.successor_of(chord_hash(key, self._ring.bits))
+        return self._index[node.name]
+
+    def partition(self, keys) -> Dict[int, Set[str]]:
+        """Group *keys* by responsible shard (only non-empty groups)."""
+        parts: Dict[int, Set[str]] = {}
+        for key in keys:
+            parts.setdefault(self.shard_for(key), set()).add(key)
+        return parts
+
+
+class ServiceRouter:
+    """Interface: resolve and invoke D* service calls for a host agent."""
+
+    def invoke(self, channel: RpcChannel, service: str, method: str,
+               *args, **kwargs):
+        raise NotImplementedError
+
+
+class StaticRouter(ServiceRouter):
+    """Single-container routing: one endpoint per service, no failover."""
+
+    def __init__(self, endpoints: Dict[str, RpcEndpoint]):
+        self.endpoints = dict(endpoints)
+
+    def invoke(self, channel: RpcChannel, service: str, method: str,
+               *args, **kwargs):
+        # Returns the channel's invocation generator directly — the call is
+        # indistinguishable from pre-fabric code invoking the endpoint.
+        return channel.invoke(self.endpoints[service], method, *args, **kwargs)
+
+
+#: Routing-key extractors per (service, method).  ``None`` marks a
+#: scatter-to-all-shards method; missing services route to their single
+#: (unsharded) endpoint.
+_ROUTING_KEYS: Dict[str, Dict[str, Optional[Callable[..., str]]]] = {
+    "dc": {
+        "register_data": lambda data, *a: data.uid,
+        "get_data": lambda uid, *a: uid,
+        "update_status": lambda uid, *a: uid,
+        "delete_data": lambda uid, *a: uid,
+        "find_by_name": None,
+        "add_locator": lambda locator, *a: locator.data_uid,
+        "locators_for": lambda data_uid, *a: data_uid,
+        "publish_pair": lambda key, *a: key,
+        "lookup_pair": lambda key, *a: key,
+    },
+    "ds": {
+        "heartbeat": lambda host_name, *a: host_name,
+        "confirm_ownership": lambda host_name, data_uid, *a: data_uid,
+        "release_ownership": lambda host_name, data_uid, *a: data_uid,
+        # The ActiveData API surface: Θ mutations route by data uid.
+        "schedule": lambda data, *a: data.uid,
+        "pin": lambda data, *a: data.uid,
+        "unschedule": lambda data_uid, *a: data_uid,
+        "owners_of": lambda data_uid, *a: data_uid,
+    },
+}
+
+#: How a scatter merges per-shard returns, per (service, method).
+_SCATTER_MERGE = {
+    ("dc", "find_by_name"): lambda results: [row for rows in results
+                                             for row in rows],
+}
+
+#: Sentinel distinguishing "no extractor registered" from "scatter" (None).
+_MISSING = object()
+
+
+class FabricRouter(ServiceRouter):
+    """Sharded + replicated routing with heartbeat-driven failover."""
+
+    def __init__(self, fabric, policy: Optional[FailoverPolicy] = None):
+        self.fabric = fabric
+        self.policy = policy if policy is not None else fabric.failover_policy
+        #: resolutions served by a non-primary replica — one count per
+        #: resolve attempt (so blocked retries against an undetected crash
+        #: count each attempt), a traffic measure rather than a count of
+        #: distinct failover transitions.
+        self.reroutes = 0
+        self.reroutes_by_shard: Dict[str, int] = {}
+        #: synchronisations routed so far; rotates the batch-limit remainder
+        self._sync_rounds = 0
+
+    # ------------------------------------------------------------------ resolution
+    def _live_endpoint(self, service: str, shard: int) -> RpcEndpoint:
+        """The target shard's first replica believed alive.
+
+        Liveness is heartbeat-driven: the fabric's service-host detector —
+        not the host's actual ``online`` flag — decides, so a fresh crash
+        keeps routing to the dead primary until the detector's timeout
+        declares it (the failover policy's retries bridge that window).
+        """
+        endpoints = self.fabric.shard_endpoints(service, shard)
+        for position, endpoint in enumerate(endpoints):
+            if self.fabric.host_believed_alive(endpoint.host):
+                if position > 0:
+                    self.reroutes += 1
+                    label = endpoint.shard or service
+                    self.reroutes_by_shard[label] = (
+                        self.reroutes_by_shard.get(label, 0) + 1)
+                return endpoint
+        raise RpcError(
+            f"no live replica for service {service!r} shard "
+            f"{endpoints[0].shard if endpoints else shard} "
+            f"({len(endpoints)} replicas, all presumed dead)")
+
+    def _resolver(self, service: str, shard: int):
+        return lambda: self._live_endpoint(service, shard)
+
+    # ------------------------------------------------------------------ invocation
+    def invoke(self, channel: RpcChannel, service: str, method: str,
+               *args, **kwargs):
+        if service == "ds" and method == "synchronize":
+            return self._invoke_synchronize(channel, *args, **kwargs)
+        shards = self.fabric.shard_count(service)
+        if shards <= 0:
+            # Unsharded service (DR/DT): single replica group, shard 0.
+            return channel.invoke_failover(
+                self._resolver(service, 0), method, *args,
+                policy=self.policy, **kwargs)
+        extractor = _ROUTING_KEYS.get(service, {}).get(method, _MISSING)
+        if extractor is _MISSING:
+            raise RpcError(
+                f"no routing rule for {service}.{method} "
+                f"(sharded service calls need a key extractor)")
+        if extractor is None:
+            return self._invoke_scatter(channel, service, method,
+                                        *args, **kwargs)
+        shard = self.fabric.ring_for(service).shard_for(extractor(*args))
+        return channel.invoke_failover(
+            self._resolver(service, shard), method, *args,
+            policy=self.policy, **kwargs)
+
+    def _fan_out(self, channel: RpcChannel, calls):
+        """Generator: run per-shard invocations *concurrently* and gather.
+
+        ``calls`` is a list of (service, shard, method, args, kwargs).
+        Each call runs as its own simulation process, so a scatter pays
+        the slowest shard's latency, not the sum.  Outcomes are collected
+        explicitly (never fail-fast): a failing shard must not leave
+        sibling processes' failures undelivered, and the first error — in
+        shard order, deterministically — is re-raised only after every
+        shard settled.  Returns the per-shard results in shard order.
+        """
+        env = channel.env
+
+        def one(service, shard, method, args, kwargs):
+            try:
+                result = yield from channel.invoke_failover(
+                    self._resolver(service, shard), method, *args,
+                    policy=self.policy, **kwargs)
+            except RpcError as exc:
+                return (False, exc)
+            return (True, result)
+
+        processes = [env.process(one(*call)) for call in calls]
+        yield env.all_of(processes)
+        outcomes = [process._value for process in processes]
+        for ok, value in outcomes:
+            if not ok:
+                raise value
+        return [value for _ok, value in outcomes]
+
+    def _invoke_scatter(self, channel: RpcChannel, service: str, method: str,
+                        *args, **kwargs):
+        """Generator: fan a keyless call out to every shard and merge."""
+        merge = _SCATTER_MERGE[(service, method)]
+        results = yield from self._fan_out(channel, [
+            (service, shard, method, args, kwargs)
+            for shard in range(self.fabric.shard_count(service))])
+        return merge(results)
+
+    def _invoke_synchronize(self, channel: RpcChannel, host_name: str,
+                            cached_uids, reservoir: bool = True,
+                            max_new: Optional[int] = None,
+                            payload_kb: float = 1.0):
+        """Generator: scatter one synchronisation over the scheduler shards.
+
+        The host's cache view Δk is partitioned by the scheduler ring; each
+        shard runs Algorithm 1 on its slice *concurrently* (the gather
+        waits for every shard, then merges into one :class:`SyncResult`).
+        ``max_new`` (or the fabric's MaxDataSchedule default) is divided
+        exactly across the shards — floor(limit/S) each plus one extra on
+        (limit mod S) shards — so a sharded synchronisation assigns at
+        most the same batch size as the centralized scheduler.  The
+        remainder shards *rotate* with every synchronisation: with more
+        shards than budget, every shard still gets its turn instead of a
+        fixed prefix starving the rest forever.
+        """
+        ring = self.fabric.ring_for("ds")
+        parts = ring.partition(set(cached_uids))
+        limit = int(max_new if max_new is not None
+                    else self.fabric.max_data_schedule)
+        shards = self.fabric.shard_count("ds")
+        base, extra = divmod(limit, shards)
+        offset = self._sync_rounds % shards
+        self._sync_rounds += 1
+        calls = []
+        for shard in range(shards):
+            per_shard = base + (1 if (shard - offset) % shards < extra else 0)
+            calls.append(("ds", shard, "synchronize",
+                          (host_name, parts.get(shard, set())),
+                          {"reservoir": reservoir, "max_new": per_shard,
+                           "payload_kb": payload_kb}))
+        results = yield from self._fan_out(channel, calls)
+        assigned: List = []
+        to_delete: List[str] = []
+        to_download: List[str] = []
+        for result in results:
+            assigned.extend(result.assigned)
+            to_delete.extend(result.to_delete)
+            to_download.extend(result.to_download)
+        return SyncResult(host_name=host_name, assigned=assigned,
+                          to_delete=sorted(to_delete),
+                          to_download=sorted(to_download),
+                          time=channel.env.now)

@@ -1,0 +1,227 @@
+"""RpcChannel failure semantics: mid-call crashes, marshalling accounting,
+shard-labelled errors and the failover-retry policy (fabric PR satellites)."""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.rpc import (
+    ChannelKind,
+    FailoverPolicy,
+    RpcChannel,
+    RpcEndpoint,
+    RpcError,
+    RpcResponseLostError,
+)
+from repro.sim.kernel import Environment
+
+
+class _Service:
+    """A service whose (generator) method can crash its host mid-call."""
+
+    def __init__(self, env, host=None, crash_mid_call=False, delay_s=0.01):
+        self.env = env
+        self.host = host
+        self.crash_mid_call = crash_mid_call
+        self.delay_s = delay_s
+        self.calls = 0
+
+    def ping(self, value):
+        self.calls += 1
+        return ("pong", value)
+
+    def slow_ping(self, value):
+        self.calls += 1
+        yield self.env.timeout(self.delay_s)
+        if self.crash_mid_call and self.host is not None:
+            self.host.fail()
+        return ("pong", value)
+
+
+def _run(env, gen):
+    """Drive a channel invocation to completion; return its value."""
+    result = {}
+
+    def wrapper():
+        result["value"] = yield from gen
+    env.process(wrapper())
+    env.run(until=env.timeout(60.0))
+    return result.get("value")
+
+
+class TestInvokeFailureSemantics:
+    def test_offline_before_call_raises_with_shard_label(self):
+        env = Environment()
+        host = Host("svc-1", stable=True)
+        endpoint = RpcEndpoint(_Service(env), host=host,
+                               name="DataCatalog", shard="dc-3")
+        channel = RpcChannel(env, ChannelKind.RMI_REMOTE)
+        host.fail()
+
+        def caller():
+            with pytest.raises(RpcError) as err:
+                yield from channel.invoke(endpoint, "ping", 1)
+            assert "DataCatalog[dc-3].ping" in str(err.value)
+            assert "svc-1" in str(err.value)
+        env.process(caller())
+        env.run(until=env.timeout(1.0))
+
+    def test_host_crash_mid_call_fails_the_response(self):
+        """The post-call online check: the request reached the service (the
+        method ran) but the host died before the response made it back."""
+        env = Environment()
+        host = Host("svc-1", stable=True)
+        service = _Service(env, host=host, crash_mid_call=True)
+        endpoint = RpcEndpoint(service, host=host, name="DataScheduler",
+                               shard="ds-0")
+        channel = RpcChannel(env, ChannelKind.RMI_REMOTE)
+
+        def caller():
+            with pytest.raises(RpcError) as err:
+                yield from channel.invoke(endpoint, "slow_ping", 2)
+            assert "failed during the call" in str(err.value)
+            assert "DataScheduler[ds-0].slow_ping" in str(err.value)
+        env.process(caller())
+        env.run(until=env.timeout(1.0))
+        assert service.calls == 1          # the method itself did run
+
+    def test_label_without_shard_is_unchanged(self):
+        endpoint = RpcEndpoint(object(), name="DataCatalog")
+        assert endpoint.label() == "DataCatalog"
+        bare = RpcEndpoint(_Service(Environment()))
+        assert bare.label() == "_Service"
+
+    def test_payload_kb_marshalling_accounting(self):
+        env = Environment()
+        endpoint = RpcEndpoint(_Service(env), name="DataCatalog", shard="dc-1")
+        channel = RpcChannel(env, ChannelKind.RMI_REMOTE)
+
+        value = _run(env, channel.invoke(endpoint, "ping", 7, payload_kb=10.0))
+        assert value == ("pong", 7)
+        expected = channel.round_trip_s + 10.0 * channel.per_kb_s
+        assert channel.calls == 1
+        assert channel.total_latency_s == pytest.approx(expected)
+        assert channel.marshalled_kb == pytest.approx(10.0)
+        assert channel.marshalling_latency_s == pytest.approx(
+            10.0 * channel.per_kb_s)
+        # Per-endpoint-label accounting carries the shard id.
+        assert channel.calls_by_label == {"DataCatalog[dc-1]": 1}
+        assert channel.latency_by_label["DataCatalog[dc-1]"] == pytest.approx(
+            expected)
+
+    def test_simulated_time_charged_matches_call_cost(self):
+        env = Environment()
+        endpoint = RpcEndpoint(_Service(env), name="DataCatalog")
+        channel = RpcChannel(env, ChannelKind.RMI_LOCAL)
+
+        done = {}
+
+        def caller():
+            yield from channel.invoke(endpoint, "ping", 1, payload_kb=4.0)
+            done["at"] = env.now
+        env.process(caller())
+        env.run(until=env.timeout(1.0))
+        assert done["at"] == pytest.approx(channel.call_cost(4.0))
+
+
+class TestFailoverPolicy:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            FailoverPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            FailoverPolicy(backoff_s=-1.0)
+
+    def test_retries_until_resolver_hands_out_live_endpoint(self):
+        """Dead-primary attempts are retried; a later resolution succeeds."""
+        env = Environment()
+        dead_host = Host("svc-dead", stable=True)
+        dead_host.fail()
+        live_host = Host("svc-live", stable=True)
+        service = _Service(env)
+        dead = RpcEndpoint(service, host=dead_host, name="S", shard="s-0")
+        live = RpcEndpoint(service, host=live_host, name="S", shard="s-0")
+        channel = RpcChannel(env, ChannelKind.RMI_REMOTE)
+        resolutions = []
+
+        def resolve():
+            # The first two resolutions still point at the dead primary
+            # (the detector has not declared it yet), then failover.
+            resolutions.append(env.now)
+            return dead if len(resolutions) <= 2 else live
+
+        policy = FailoverPolicy(max_attempts=5, backoff_s=0.5)
+        value = _run(env, channel.invoke_failover(
+            resolve, "ping", 42, policy=policy))
+        assert value == ("pong", 42)
+        assert len(resolutions) == 3
+        assert channel.failover_attempts == 2
+        assert channel.lost_requests == 0
+        # Each failed attempt waited the policy backoff before re-resolving.
+        assert resolutions[1] == pytest.approx(0.5)
+        assert resolutions[2] == pytest.approx(1.0)
+
+    def test_exhausted_attempts_lose_the_request(self):
+        env = Environment()
+        dead_host = Host("svc-dead", stable=True)
+        dead_host.fail()
+        endpoint = RpcEndpoint(_Service(env), host=dead_host,
+                               name="S", shard="s-1")
+        channel = RpcChannel(env, ChannelKind.RMI_REMOTE)
+        policy = FailoverPolicy(max_attempts=3, backoff_s=0.1)
+
+        def caller():
+            with pytest.raises(RpcError):
+                yield from channel.invoke_failover(
+                    lambda: endpoint, "ping", 1, policy=policy)
+        env.process(caller())
+        env.run(until=env.timeout(5.0))
+        assert channel.lost_requests == 1
+        assert channel.failover_attempts == 2   # attempts 1..2 retried, 3rd lost
+
+    def test_response_lost_is_never_retried(self):
+        """At-most-once: a host crash *after* the method executed must not
+        re-execute the call on a replica — the service already mutated."""
+        env = Environment()
+        host = Host("svc-1", stable=True)
+        service = _Service(env, host=host, crash_mid_call=True)
+        crashed = RpcEndpoint(service, host=host, name="S", shard="s-0")
+        replica_host = Host("svc-2", stable=True)
+        replica = RpcEndpoint(service, host=replica_host, name="S", shard="s-0")
+        channel = RpcChannel(env, ChannelKind.RMI_REMOTE)
+        resolutions = []
+
+        def resolve():
+            resolutions.append(env.now)
+            return crashed if len(resolutions) == 1 else replica
+
+        def caller():
+            with pytest.raises(RpcResponseLostError):
+                yield from channel.invoke_failover(
+                    resolve, "slow_ping", 1,
+                    policy=FailoverPolicy(max_attempts=8, backoff_s=0.1))
+        env.process(caller())
+        env.run(until=env.timeout(5.0))
+        assert service.calls == 1           # executed exactly once
+        assert len(resolutions) == 1        # no failover re-resolution
+        assert channel.lost_requests == 1
+        assert channel.failover_attempts == 0
+
+    def test_resolver_rpc_errors_also_retry(self):
+        """A resolver raising RpcError (no live replica) counts as an attempt."""
+        env = Environment()
+        live_host = Host("svc-live", stable=True)
+        service = _Service(env)
+        live = RpcEndpoint(service, host=live_host, name="S", shard="s-2")
+        channel = RpcChannel(env, ChannelKind.RMI_REMOTE)
+        state = {"n": 0}
+
+        def resolve():
+            state["n"] += 1
+            if state["n"] == 1:
+                raise RpcError("no live replica for service 's' shard s-2")
+            return live
+
+        value = _run(env, channel.invoke_failover(
+            resolve, "ping", 3, policy=FailoverPolicy(max_attempts=2,
+                                                      backoff_s=0.2)))
+        assert value == ("pong", 3)
+        assert channel.failover_attempts == 1
