@@ -6,7 +6,11 @@ Subcommands:
 * ``describe NAME`` — parameters, defaults and provenance of one scenario.
 * ``run NAME [--set k=v ...] [--seed N] [--out results.json]`` — run one
   scenario; the JSON written by ``--out`` is deterministic (same seed →
-  byte-identical bytes).
+  byte-identical bytes).  Every run prints a ``# stats:`` perf line
+  (wall clock, and when the scenario reports them, ``processed_events``
+  and ``events_per_sec``) to stderr; ``--profile`` additionally runs the
+  scenario under cProfile and prints the top ``--profile-limit``
+  functions by cumulative time to stderr.
 * ``sweep NAME --grid k=v1,v2 [--grid ...] [--set k=v ...] [--out f.json]``
   — the cartesian product of one or more parameter axes, executed by the
   parallel sweep engine: ``--jobs N`` runs points on a process pool
@@ -38,6 +42,7 @@ import argparse
 import inspect
 import json
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.reporting import format_table
@@ -197,14 +202,70 @@ def _progress_printer(args: argparse.Namespace):
     return lambda line: print(line, file=sys.stderr, flush=True)
 
 
+def _sum_key(results: object, key: str) -> Optional[float]:
+    """Sum every value of *key* found anywhere in a results structure."""
+    found: List[float] = []
+
+    def walk(value: object) -> None:
+        if isinstance(value, dict):
+            item = value.get(key)
+            if isinstance(item, (int, float)) and not isinstance(item, bool):
+                found.append(item)
+            for item in value.values():
+                walk(item)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                walk(item)
+
+    walk(results)
+    return sum(found) if found else None
+
+
+def _print_run_stats(results: object, wall_s: float) -> None:
+    """The perf line every run reports: event count and throughput.
+
+    Goes to stderr so ``--out -`` JSON keeps stdout clean; scenarios whose
+    results carry no ``processed_events`` report only the wall clock.
+    """
+    events = _sum_key(results, "processed_events")
+    line = f"# stats: wall_s={wall_s:.3f}"
+    if events is not None:
+        rate = events / wall_s if wall_s > 0 else 0.0
+        line += f" processed_events={int(events)} events_per_sec={rate:.0f}"
+    print(line, file=sys.stderr, flush=True)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     params = _collect_params(args.set, args.seed)
     cache = _run_cache(args)
+    if args.profile and not (cache is None and args.retries == 0):
+        print("error: --profile runs the scenario in-process; it cannot be "
+              "combined with --cache/--cache-dir/--retries", file=sys.stderr)
+        return 2
     if cache is None and args.retries == 0:
         # The plain path: run in-process, keep the raw results (including
         # volatile keys like wall-clock) for the summary.
         spec = ScenarioSpec(scenario=args.scenario, params=params)
-        result = run_spec(spec)
+        profiler = None
+        if args.profile:
+            import cProfile
+            profiler = cProfile.Profile()
+        wall_start = time.perf_counter()
+        if profiler is not None:
+            profiler.enable()
+            try:
+                result = run_spec(spec)
+            finally:
+                profiler.disable()
+        else:
+            result = run_spec(spec)
+        wall_s = time.perf_counter() - wall_start
+        if profiler is not None:
+            import pstats
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(args.profile_limit)
+        if not args.quiet:
+            _print_run_stats(result.results, wall_s)
         if args.out is not None:
             _write_output(result.to_json(), args.out)
         # With '--out -' the JSON owns stdout; the summary would corrupt it.
@@ -320,6 +381,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the scenario's RNG seed")
     p_run.add_argument("--out", metavar="FILE",
                        help="write deterministic JSON results ('-' = stdout)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="profile the run with cProfile and print the top "
+                            "functions by cumulative time to stderr")
+    p_run.add_argument("--profile-limit", type=int, default=25, metavar="N",
+                       help="number of profile rows to print (default 25)")
     p_run.add_argument("--quiet", action="store_true",
                        help="suppress the human-readable summary")
     p_run.add_argument("--retries", type=int, default=0, metavar="K",

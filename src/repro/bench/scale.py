@@ -22,9 +22,26 @@ two hot paths the O(active)-work refactor targets:
   through the DC/DR/DT protocol stack, and the indexed Data Scheduler must
   place every datum without ever scanning all of Θ.
 
+* :func:`run_scale_grid_100k` — the 100k-host tier: identical hosts are
+  batched into array-backed cohorts (:mod:`repro.workloads.cohort`), each
+  driven by a single generator calling the Data Scheduler's pure
+  ``compute_schedule`` and the flow network directly.  Defaults to the
+  calendar-queue event scheduler and the vectorized allocator; both are
+  scenario parameters (``--set scheduler=heap``/``allocator=incremental``
+  restores the reference path, which must produce identical results).
+
+The existing harnesses accept the perf knobs ``scheduler`` (and, for the
+grid, ``allocator``) as *extra* parameters: they default to the reference
+implementations and deliberately stay out of the runner signatures, so the
+resolved spec — and therefore the serialised ``run --out`` JSON — of a
+default-configuration run is byte-identical to what it was before the
+knobs existed.
+
 Each function returns a plain metrics dict; ``benchmarks/test_scale_grid.py``
 asserts the curve shapes and records the numbers as a BENCH trajectory
-point in ``BENCH.json``.
+point in ``BENCH.json``.  Every dict carries ``processed_events`` and the
+wall-clock-derived ``events_per_sec`` (volatile, scrubbed from serialised
+output) so perf work always starts from data.
 """
 
 from __future__ import annotations
@@ -41,8 +58,35 @@ from repro.net.host import Host
 from repro.net.topology import cluster_topology
 from repro.sim.kernel import Environment
 from repro.storage.filesystem import FileContent
+from repro.workloads.cohort import (
+    build_cohorts,
+    cohort_heartbeat_process,
+    cohort_sync_process,
+)
 
-__all__ = ["run_completion_curve", "run_scale_grid", "run_sync_storm"]
+__all__ = ["run_completion_curve", "run_scale_grid", "run_scale_grid_100k",
+           "run_sync_storm"]
+
+
+def _pop_perf_knobs(perf: Dict[str, object],
+                    allocator_default: Optional[str] = None) -> Dict[str, object]:
+    """Extract the optional perf knobs shared by the scale harnesses.
+
+    Returns ``{"scheduler": ..., "allocator": ...}`` (the latter only when
+    ``allocator_default`` is given).  Leftover keys are a parameter-name
+    error, reported exactly like an unknown ``--set`` name.
+    """
+    knobs: Dict[str, object] = {"scheduler": perf.pop("scheduler", "heap")}
+    if allocator_default is not None:
+        knobs["allocator"] = perf.pop("allocator", allocator_default)
+    if perf:
+        raise ValueError(f"unknown parameters {sorted(perf)}; "
+                         f"perf knobs are {sorted(knobs)}")
+    return knobs
+
+
+def _events_per_sec(processed_events: int, wall_s: float) -> float:
+    return processed_events / wall_s if wall_s > 0 else 0.0
 
 
 def _run_sync_storm(
@@ -54,16 +98,21 @@ def _run_sync_storm(
     server_link_mbps: float = 1000.0,
     node_link_mbps: float = 10.0,
     latency_s: float = 0.001,
+    **perf,
 ) -> Dict[str, object]:
     """N simultaneous downloads from one server, ``rounds`` times over.
 
     Aggregate worker demand (``n_workers * node_link_mbps``) should exceed
     the server uplink so every flow shares one bottleneck — the regime of
     the paper's FTP distribution experiments.
+
+    Extra parameter: ``scheduler`` (``heap`` | ``calendar`` | ``oracle``)
+    selects the kernel's event scheduler.
     """
     if n_workers <= 0 or rounds <= 0:
         raise ValueError("n_workers and rounds must be positive")
-    env = Environment()
+    knobs = _pop_perf_knobs(perf)
+    env = Environment(scheduler=knobs["scheduler"])
     network = Network(env, default_latency_s=latency_s,
                       allocator=allocator, coalesce=coalesce)
     server = network.add_host(Host(
@@ -105,6 +154,7 @@ def _run_sync_storm(
         "allocation_passes": network.allocation_passes,
         "recompute_requests": network.recompute_requests,
         "processed_events": env.processed_events,
+        "events_per_sec": _events_per_sec(env.processed_events, wall_s),
     }
 
 
@@ -139,19 +189,25 @@ def _run_scale_grid(
     sync_rounds: int = 3,
     monitor_period_s: float = 5.0,
     seed: int = 7,
+    **perf,
 ) -> Dict[str, object]:
     """Sync+transfer storm through the full runtime at production scale.
 
     ``n_data`` data items are created on the service host and scheduled with
     a replica target; ``n_hosts`` reservoir hosts then synchronise in
     simultaneous batches until everything is placed and downloaded.
+
+    Extra parameters: ``scheduler`` (``heap`` | ``calendar`` | ``oracle``)
+    and ``allocator`` (``incremental`` | ``dense`` | ``vector``).
     """
     if n_hosts <= 0 or n_data <= 0:
         raise ValueError("n_hosts and n_data must be positive")
+    knobs = _pop_perf_knobs(perf, allocator_default="incremental")
     wall_start = time.perf_counter()
-    env = Environment()
+    env = Environment(scheduler=knobs["scheduler"])
     topo = cluster_topology(env, n_workers=n_hosts,
-                            server_link_mbps=1000.0, node_link_mbps=125.0)
+                            server_link_mbps=1000.0, node_link_mbps=125.0,
+                            allocator=knobs["allocator"])
     runtime = BitDewEnvironment(
         topo,
         sync_period_s=3600.0,          # pull loops are driven by kick_sync
@@ -214,6 +270,122 @@ def _run_scale_grid(
         "recompute_requests": network.recompute_requests,
         "completed_flows": network.completed_flows,
         "processed_events": env.processed_events,
+        "events_per_sec": _events_per_sec(env.processed_events, wall_s),
+    }
+
+
+def _run_scale_grid_100k(
+    n_hosts: int = 100_000,
+    n_data: int = 25_000,
+    replica: int = 4,
+    size_mb: float = 0.5,
+    cohort_size: int = 1000,
+    sync_rounds: int = 2,
+    max_data_schedule: int = 1,
+    stagger_s: float = 0.25,
+    sync_gap_s: float = 1.0,
+    heartbeat_period_s: float = 5.0,
+    heartbeat_duration_s: float = 40.0,
+    server_link_mbps: float = 8000.0,
+    node_link_mbps: float = 125.0,
+    scheduler: str = "calendar",
+    allocator: str = "vector",
+) -> Dict[str, object]:
+    """Cohort-batched sync+download storm at the 100k-host tier.
+
+    ``n_hosts`` identical reservoir hosts are partitioned into array-backed
+    cohorts of ``cohort_size``; each cohort is driven by one sync generator
+    (calling the Data Scheduler's pure ``compute_schedule`` per host and
+    starting real flows on the shared network) plus one heartbeat timer.
+    With the defaults every host downloads exactly one replica
+    (``n_data * replica == n_hosts``, one assignment per sync), so the run
+    is a full placement of ``n_data`` items over 100k hosts.
+
+    ``scheduler`` and ``allocator`` are explicit axes: the defaults are the
+    fast calendar-queue/vectorized pair; ``heap``/``incremental`` is the
+    reference pair and must produce identical results (the CI kernel-smoke
+    job byte-compares the two on a reduced grid).
+    """
+    if n_hosts <= 0 or n_data <= 0:
+        raise ValueError("n_hosts and n_data must be positive")
+    wall_start = time.perf_counter()
+    env = Environment(scheduler=scheduler)
+    network = Network(env, default_latency_s=0.0002, allocator=allocator)
+    server = network.add_host(Host(
+        "grid-service", uplink_mbps=server_link_mbps,
+        downlink_mbps=server_link_mbps, stable=True))
+    hosts = [
+        network.add_host(Host(f"c{i:06d}", uplink_mbps=node_link_mbps,
+                              downlink_mbps=node_link_mbps))
+        for i in range(n_hosts)
+    ]
+
+    from repro.services.data_scheduler import DataSchedulerService
+    ds = DataSchedulerService(env, max_data_schedule=max_data_schedule)
+    attribute = Attribute(name="grid", replica=replica, protocol="http")
+    size_mb_of: Dict[str, float] = {}
+    datas: List[Data] = []
+    for i in range(n_data):
+        data = Data(name=f"grid-{i:05d}", size_mb=size_mb)
+        ds.schedule(data, attribute)
+        size_mb_of[data.uid] = size_mb
+        datas.append(data)
+
+    cohorts = build_cohorts(hosts, cohort_size)
+
+    def sync(host_name: str, cached: set):
+        ds.sync_count += 1
+        return ds.compute_schedule(host_name, cached)
+
+    def transfer(host: Host, uid: str):
+        return network.transfer(server, host, size_mb_of[uid])
+
+    for cohort in cohorts:
+        env.process(cohort_sync_process(
+            env, cohort, sync, transfer, size_mb_of,
+            rounds=sync_rounds, stagger_s=stagger_s, sync_gap_s=sync_gap_s))
+        env.process(cohort_heartbeat_process(
+            env, cohort, period_s=heartbeat_period_s,
+            duration_s=heartbeat_duration_s))
+    setup_wall_s = time.perf_counter() - wall_start
+
+    run_start = time.perf_counter()
+    env.run()
+    run_wall_s = time.perf_counter() - run_start
+
+    placed = sum(
+        1 for data in datas
+        if len(ds.owners_of(data.uid)) >= min(replica, n_hosts))
+    wall_s = time.perf_counter() - wall_start
+    return {
+        "scenario": "scale-grid-100k",
+        "n_hosts": n_hosts,
+        "n_data": n_data,
+        "replica": replica,
+        "size_mb": size_mb,
+        "cohorts": len(cohorts),
+        "cohort_size": cohort_size,
+        "sync_rounds": sync_rounds,
+        "scheduler": scheduler,
+        "allocator": allocator,
+        "placed": placed,
+        "downloaded": sum(c.total_downloads for c in cohorts),
+        "transferred_mb": sum(c.total_bytes_mb for c in cohorts),
+        "last_completion_s": max(c.last_completion_s for c in cohorts),
+        "syncs": sum(c.syncs for c in cohorts),
+        "heartbeats": sum(c.heartbeats for c in cohorts),
+        "sim_time_s": env.now,
+        "assignments": ds.assignments,
+        "entries_examined": ds.entries_examined,
+        "managed_count": ds.managed_count,
+        "allocation_passes": network.allocation_passes,
+        "recompute_requests": network.recompute_requests,
+        "completed_flows": network.completed_flows,
+        "processed_events": env.processed_events,
+        "wall_s": wall_s,
+        "setup_wall_s": setup_wall_s,
+        "run_wall_s": run_wall_s,
+        "events_per_sec": _events_per_sec(env.processed_events, run_wall_s),
     }
 
 
@@ -222,3 +394,5 @@ run_sync_storm = registered_entry_point("sync-storm", _run_sync_storm)
 run_completion_curve = registered_entry_point("completion-curve",
                                               _run_completion_curve)
 run_scale_grid = registered_entry_point("scale-grid", _run_scale_grid)
+run_scale_grid_100k = registered_entry_point("scale-grid-100k",
+                                             _run_scale_grid_100k)

@@ -29,6 +29,7 @@ from repro.bench.micro import (
 from repro.bench.scale import (
     _run_completion_curve,
     _run_scale_grid,
+    _run_scale_grid_100k,
     _run_sync_storm,
 )
 from repro.bench.sweep import _run_sweep_parallel
@@ -47,8 +48,9 @@ from repro.experiments.extra import (
 
 __all__ = ["build_registry"]
 
-#: wall-clock keys of the scale harnesses: real, not simulated, time.
-_WALL_KEYS = ("wall_s", "setup_wall_s", "storm_walls_s")
+#: wall-clock keys of the scale harnesses: real, not simulated, time
+#: (events_per_sec is wall-clock-derived throughput, equally volatile).
+_WALL_KEYS = ("wall_s", "setup_wall_s", "storm_walls_s", "events_per_sec")
 
 
 def build_registry() -> ScenarioRegistry:
@@ -126,6 +128,12 @@ def build_registry() -> ScenarioRegistry:
         title="Full runtime at ≥1000 hosts × ≥5000 data items",
         paper_ref="beyond the paper (BENCH trajectory)", group="scale",
         tags=("bench",), volatile_keys=_WALL_KEYS)
+    registry.register(
+        "scale-grid-100k", _run_scale_grid_100k,
+        title="Cohort-batched placement storm at ≥100k hosts",
+        paper_ref="beyond the paper (BENCH trajectory)", group="scale",
+        tags=("bench", "kernel"),
+        volatile_keys=_WALL_KEYS + ("run_wall_s",))
     registry.register(
         "fabric-scale", _run_fabric_scale,
         title="Flash-crowd sync storm: centralized container vs sharded fabric",

@@ -13,13 +13,21 @@ The kernel is deliberately small and dependency-free.  It provides:
 Determinism: events scheduled for the same simulated time are processed in
 FIFO order of scheduling (a monotonically increasing sequence number breaks
 ties), so a simulation with a fixed RNG seed is fully reproducible.
+
+The queue itself is a pluggable strategy (:mod:`repro.sim.scheduler`):
+``Environment(scheduler="heap")`` is the reference binary heap,
+``"calendar"`` a bucketed calendar queue tuned for timer-heavy traffic and
+``"oracle"`` runs both in lockstep asserting identical event order.  All
+three realise the same total ``(time, priority, seq)`` order, so the
+choice never changes simulated results — only wall-clock.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.sim.scheduler import make_scheduler
 
 __all__ = [
     "AllOf",
@@ -189,8 +197,12 @@ class Timer(Event):
         """Revoke the timer; returns False if it already fired."""
         if self.processed:
             return False
-        self.cancelled = True
-        self.callbacks = []
+        if not self.cancelled:
+            self.cancelled = True
+            self.callbacks = []
+            # Let the scheduler account for the dead entry (it compacts the
+            # queue when cancelled entries outnumber the live ones).
+            self.env._scheduler.note_cancelled()
         return True
 
 
@@ -360,9 +372,13 @@ class Environment:
     #: normally-scheduled event at the same timestamp.
     SETTLE_PRIORITY = 2
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, scheduler: Any = "heap"):
         self._now = float(initial_time)
-        self._queue: List = []
+        #: The event-queue strategy: a name resolved through
+        #: :func:`repro.sim.scheduler.make_scheduler`, or a ready scheduler
+        #: object (anything with push/pop/peek/note_cancelled/__len__).
+        self._scheduler = (make_scheduler(scheduler)
+                           if isinstance(scheduler, str) else scheduler)
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
         #: Number of events processed by :meth:`step` (benchmark metric).
@@ -373,6 +389,15 @@ class Environment:
     def now(self) -> float:
         """Current simulated time (seconds by convention across the library)."""
         return self._now
+
+    @property
+    def scheduler(self):
+        """The live event-queue strategy object."""
+        return self._scheduler
+
+    @property
+    def scheduler_name(self) -> str:
+        return getattr(self._scheduler, "name", type(self._scheduler).__name__)
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -416,26 +441,21 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._counter), event)
+        self._scheduler.push(
+            (self._now + delay, priority, next(self._counter), event)
         )
-
-    def _purge_cancelled(self) -> None:
-        queue = self._queue
-        while queue and queue[0][3].cancelled:
-            heapq.heappop(queue)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        self._purge_cancelled()
-        return self._queue[0][0] if self._queue else float("inf")
+        entry = self._scheduler.peek()
+        return entry[0] if entry is not None else float("inf")
 
     def step(self) -> None:
         """Process the next event; raise if the queue is empty."""
-        self._purge_cancelled()
-        if not self._queue:
-            raise SimulationError("no more events to process")
-        when, _prio, _count, event = heapq.heappop(self._queue)
+        try:
+            when, _prio, _count, event = self._scheduler.pop()
+        except IndexError:
+            raise SimulationError("no more events to process") from None
         self._now = when
         self.processed_events += 1
         callbacks, event.callbacks = event.callbacks, None
@@ -465,7 +485,7 @@ class Environment:
                     f"until={stop_time!r} is in the past (now={self._now!r})"
                 )
 
-        while self._queue:
+        while len(self._scheduler):
             if stop_event is not None and stop_event.processed:
                 break
             next_time = self.peek()   # also purges cancelled timers
@@ -485,6 +505,7 @@ class Environment:
                 return stop_event._value
             stop_event.defused = True
             raise stop_event._value
-        if stop_time is not None and self._now < stop_time and not self._queue:
+        if stop_time is not None and self._now < stop_time \
+                and not len(self._scheduler):
             self._now = stop_time
         return None

@@ -1,0 +1,333 @@
+"""Pluggable event schedulers for the simulation kernel.
+
+The kernel's queue discipline is a total order over ``(time, priority,
+seq)`` — FIFO within a timestamp, priorities only for the settle hook and
+interrupts.  How that order is *realised* is a pure performance choice, so
+the queue is a pluggable strategy behind :func:`make_scheduler`:
+
+* :class:`HeapScheduler` — the reference implementation: one global binary
+  heap (`heapq`).  O(log n) per operation with n the total queue size,
+  which at 100k-host scale means every push/pop pays ~17 tuple
+  comparisons against *unrelated* events scheduled far in the future.
+  Cancelled :class:`~repro.sim.kernel.Timer` entries are dropped lazily
+  when they surface, and the whole heap is compacted once more than half
+  of it is dead (see :meth:`note_cancelled`) so a timer-heavy workload
+  cannot squat the queue with corpses.
+
+* :class:`CalendarQueueScheduler` — a bucketed calendar queue (R. Brown,
+  CACM 1988) tuned for the kernel's timer-heavy heartbeat/sync traffic:
+  events hash into fixed-width time buckets (``floor(time / width)``), a
+  small index heap tracks the non-empty buckets, and each bucket is its
+  own tiny heap.  Pops only ever compare events of the *current* bucket,
+  so with the width matched to the event density the per-event cost is
+  O(1) amortised.  The width adapts deterministically: every
+  ``RESIZE_INTERVAL`` pushes the queue re-buckets itself if the average
+  bucket occupancy left the target band.  Because ``floor(t / w)`` is
+  monotone in ``t`` and every bucket orders entries by the full
+  ``(time, priority, seq)`` key, the pop sequence is **identical** to the
+  heap's — an invariant pinned by :class:`OracleScheduler` and the
+  property tests in ``tests/test_sim_scheduler.py``.
+
+* :class:`OracleScheduler` — the equivalence oracle: drives a heap and a
+  calendar queue in lockstep and asserts that every single pop agrees.
+  Plug it in (``Environment(scheduler="oracle")``) to certify a workload;
+  it is deliberately slow (it does all the work twice).
+
+Entries are the kernel's scheduling tuples ``(time, priority, seq,
+event)``; ``seq`` is unique, so the order is total and any two correct
+schedulers must produce byte-identical simulations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CalendarQueueScheduler",
+    "HeapScheduler",
+    "OracleScheduler",
+    "make_scheduler",
+]
+
+#: A scheduling entry: (time, priority, seq, event).
+Entry = Tuple[float, int, int, object]
+
+
+class HeapScheduler:
+    """Reference scheduler: a single global binary heap."""
+
+    name = "heap"
+
+    def __init__(self) -> None:
+        self._heap: List[Entry] = []
+        #: cancelled Timer entries still buried in the heap
+        self._cancelled = 0
+        #: number of whole-queue compactions (benchmark/test metric)
+        self.compactions = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: Entry) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def peek(self) -> Optional[Entry]:
+        """The next live entry without removing it (purges dead heads)."""
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return heap[0] if heap else None
+
+    def pop(self) -> Entry:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[3].cancelled:
+                self._cancelled -= 1
+                continue
+            return entry
+        raise IndexError("pop from an empty scheduler")
+
+    def note_cancelled(self) -> None:
+        """A queued Timer was cancelled; compact once corpses dominate.
+
+        Lazy deletion alone lets a reschedule-heavy component (the flow
+        network's completion timer, watchdogs) fill the heap with dead
+        entries that each still cost O(log n) to sift around.  When more
+        than half the heap is cancelled, one O(n) sweep rebuilds it.
+        """
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._heap):
+            self.compact()
+
+    def compact(self) -> None:
+        self._heap = [e for e in self._heap if not e[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
+
+
+class CalendarQueueScheduler:
+    """Bucketed calendar queue: near-O(1) ops for timer-heavy traffic."""
+
+    name = "calendar"
+
+    #: adapt the bucket width every this many pushes (deterministic)
+    RESIZE_INTERVAL = 4096
+    #: re-bucket when mean occupancy of non-empty buckets leaves this band
+    MAX_MEAN_OCCUPANCY = 16.0
+    MIN_MEAN_OCCUPANCY = 0.5
+
+    def __init__(self, width: Optional[float] = None) -> None:
+        if width is not None and width <= 0:
+            raise ValueError("bucket width must be positive")
+        self._width = float(width) if width is not None else 1.0
+        #: width adapts only when the caller did not pin it
+        self._auto = width is None
+        #: bucket index -> entry min-heap; only live (possibly empty) buckets
+        self._buckets: Dict[int, List[Entry]] = {}
+        #: lazy min-heap over the bucket indices present in ``_buckets``
+        self._index_heap: List[int] = []
+        self._size = 0
+        self._cancelled = 0
+        self._pushes_since_resize = 0
+        #: no resize attempt until the live count reaches this (see
+        #: _maybe_resize: backoff when re-bucketing cannot help)
+        self._resize_backoff_live = 0
+        #: metrics (tests/benchmarks)
+        self.compactions = 0
+        self.resizes = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def width(self) -> float:
+        return self._width
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    # -- internals ---------------------------------------------------------
+    def _insert(self, entry: Entry) -> None:
+        # int() truncation, not math.floor: ~2x faster, and monotone in the
+        # timestamp just the same (simulated time never goes backwards, and
+        # any two entries sharing a bucket are ordered by the bucket heap).
+        index = int(entry[0] / self._width)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = []
+            heapq.heappush(self._index_heap, index)
+        heapq.heappush(bucket, entry)
+        self._size += 1
+
+    def _head_bucket(self) -> Optional[List[Entry]]:
+        """The bucket holding the globally minimal live entry.
+
+        ``floor(t / width)`` is monotone in ``t``, so the smallest
+        non-empty bucket index contains the minimal entry.  Emptied
+        buckets and dead (cancelled) heads are dropped on the way.
+        """
+        index_heap = self._index_heap
+        while index_heap:
+            index = index_heap[0]
+            bucket = self._buckets.get(index)
+            if bucket:
+                while bucket and bucket[0][3].cancelled:
+                    heapq.heappop(bucket)
+                    self._size -= 1
+                    self._cancelled -= 1
+            if not bucket:
+                heapq.heappop(index_heap)
+                self._buckets.pop(index, None)
+                continue
+            return bucket
+        return None
+
+    def _rebuild(self, width: float) -> None:
+        entries = [entry
+                   for bucket in self._buckets.values()
+                   for entry in bucket
+                   if not entry[3].cancelled]
+        self._width = width
+        self._buckets = {}
+        self._index_heap = []
+        self._size = 0
+        self._cancelled = 0
+        for entry in entries:
+            self._insert(entry)
+
+    def _maybe_resize(self) -> None:
+        self._pushes_since_resize = 0
+        if not self._auto:
+            return
+        live = self._size - self._cancelled
+        buckets = len(self._buckets)
+        if live <= 0 or buckets == 0:
+            return
+        occupancy = live / buckets
+        if self.MIN_MEAN_OCCUPANCY <= occupancy <= self.MAX_MEAN_OCCUPANCY:
+            return
+        # Backoff: when the population has few *distinct* timestamps (e.g.
+        # a same-time storm), no width brings the occupancy into the band —
+        # without this guard the queue would pay an O(n) rebuild every
+        # RESIZE_INTERVAL pushes.  Try again once the live count doubled.
+        if live < self._resize_backoff_live:
+            return
+        # Spread the current population over ~4 entries per bucket.  The
+        # span is measured over bucket indices (O(buckets), not O(n)).
+        lo = min(self._buckets) * self._width
+        hi = (max(self._buckets) + 1) * self._width
+        span = hi - lo
+        if span <= 0 or not math.isfinite(span):
+            return
+        width = span / max(live / 4.0, 1.0)
+        if width <= 0 or not math.isfinite(width):
+            return
+        # Clamp: a same-timestamp storm must not drive the width to zero.
+        width = max(width, span * 1e-9, 1e-12)
+        if width == self._width:
+            self._resize_backoff_live = live * 2
+            return
+        self.resizes += 1
+        self._rebuild(width)
+        achieved = (self._size - self._cancelled) / max(len(self._buckets), 1)
+        if not (self.MIN_MEAN_OCCUPANCY <= achieved <= self.MAX_MEAN_OCCUPANCY):
+            self._resize_backoff_live = live * 2
+
+    # -- scheduler interface -------------------------------------------------
+    def push(self, entry: Entry) -> None:
+        # Inlined _insert: push is the hottest scheduler operation.
+        index = int(entry[0] / self._width)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            self._buckets[index] = bucket = []
+            heapq.heappush(self._index_heap, index)
+        heapq.heappush(bucket, entry)
+        self._size += 1
+        self._pushes_since_resize += 1
+        if self._pushes_since_resize >= self.RESIZE_INTERVAL:
+            self._maybe_resize()
+
+    def peek(self) -> Optional[Entry]:
+        bucket = self._head_bucket()
+        return bucket[0] if bucket else None
+
+    def pop(self) -> Entry:
+        bucket = self._head_bucket()
+        if bucket is None:
+            raise IndexError("pop from an empty scheduler")
+        self._size -= 1
+        return heapq.heappop(bucket)
+
+    def note_cancelled(self) -> None:
+        self._cancelled += 1
+        if self._cancelled * 2 > self._size:
+            self.compact()
+
+    def compact(self) -> None:
+        self._rebuild(self._width)
+        self.compactions += 1
+
+
+class OracleScheduler:
+    """Runs two schedulers in lockstep and asserts identical pop order.
+
+    The default pairing certifies the calendar queue against the reference
+    heap: every ``pop``/``peek`` must return the *same entry object* from
+    both structures, i.e. the same ``(time, priority, seq)`` event order.
+    A divergence raises ``AssertionError`` at the exact offending event.
+    """
+
+    name = "oracle"
+
+    def __init__(self, reference=None, candidate=None) -> None:
+        self.reference = reference if reference is not None else HeapScheduler()
+        self.candidate = (candidate if candidate is not None
+                          else CalendarQueueScheduler())
+        #: number of pops certified identical
+        self.agreements = 0
+
+    def __len__(self) -> int:
+        return len(self.reference)
+
+    def push(self, entry: Entry) -> None:
+        self.reference.push(entry)
+        self.candidate.push(entry)
+
+    def peek(self) -> Optional[Entry]:
+        expected = self.reference.peek()
+        got = self.candidate.peek()
+        assert got is expected, (
+            f"scheduler divergence on peek: reference={expected!r} "
+            f"candidate={got!r} after {self.agreements} agreed pops")
+        return expected
+
+    def pop(self) -> Entry:
+        expected = self.reference.pop()
+        got = self.candidate.pop()
+        assert got is expected, (
+            f"scheduler divergence on pop: reference={expected!r} "
+            f"candidate={got!r} after {self.agreements} agreed pops")
+        self.agreements += 1
+        return expected
+
+    def note_cancelled(self) -> None:
+        self.reference.note_cancelled()
+        self.candidate.note_cancelled()
+
+
+def make_scheduler(name: str = "heap"):
+    """Resolve a scheduler by name (``heap`` | ``calendar`` | ``oracle``)."""
+    if name == "heap":
+        return HeapScheduler()
+    if name == "calendar":
+        return CalendarQueueScheduler()
+    if name == "oracle":
+        return OracleScheduler()
+    raise ValueError(
+        f"unknown scheduler {name!r}; use 'heap', 'calendar' or 'oracle'")

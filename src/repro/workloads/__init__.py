@@ -5,8 +5,17 @@
 * :mod:`repro.workloads.traces` — host availability / churn traces
   (exponential and Weibull session models, plus the scripted
   crash-one-start-one scenario of the Figure 4 fault-tolerance experiment).
+* :mod:`repro.workloads.cohort` — array-backed host cohorts: blocks of
+  identical hosts driven by one generator each, for the 100k-host scale
+  benchmarks.
 """
 
+from repro.workloads.cohort import (
+    HostCohort,
+    build_cohorts,
+    cohort_heartbeat_process,
+    cohort_sync_process,
+)
 from repro.workloads.generator import (
     FileSpec,
     filecule_group,
@@ -24,7 +33,11 @@ __all__ = [
     "ChurnEvent",
     "ChurnScript",
     "FileSpec",
+    "HostCohort",
     "availability_trace",
+    "build_cohorts",
+    "cohort_heartbeat_process",
+    "cohort_sync_process",
     "crash_replace_script",
     "filecule_group",
     "parameter_sweep_tasks",

@@ -1,0 +1,176 @@
+"""The numpy-vectorized max-min allocator against its scalar references.
+
+:class:`VectorAllocator` replicates the dense reference allocator's exact
+IEEE operation sequence (same constraint scan order, same division
+operands, same subtraction order), so its rates must be **bit-identical**
+to the dense allocator's on any workload.  Against the incremental
+allocator the contract is agreement within 1e-9 — the incremental path
+may fix bottlenecks in a different order and accumulate an ULP of drift
+on adversarial constraint graphs.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.allocation import (
+    DenseAllocator,
+    IncrementalAllocator,
+    VectorAllocator,
+    make_allocator,
+)
+from repro.net.flows import Network
+from repro.net.host import Host
+from repro.sim.kernel import Environment
+
+np = pytest.importorskip("numpy")
+
+common_settings = settings(max_examples=40, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+host_spec_strategy = st.lists(
+    st.tuples(st.floats(min_value=1.0, max_value=500.0),
+              st.floats(min_value=1.0, max_value=500.0)),
+    min_size=2, max_size=6)
+
+flow_op_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2.0),          # delay before the op
+        st.sampled_from(["start", "start", "start", "abort", "fail"]),
+        st.integers(min_value=0, max_value=5),            # src / victim pick
+        st.integers(min_value=0, max_value=5),            # dst pick
+        st.floats(min_value=0.5, max_value=50.0),         # size_mb
+    ),
+    min_size=1, max_size=14)
+
+
+def _replay_schedule(allocator, coalesce, host_specs, ops, probe_times):
+    """Run one random arrival/departure/failure schedule on one allocator."""
+    env = Environment()
+    network = Network(env, default_latency_s=0.001,
+                      allocator=allocator, coalesce=coalesce)
+    hosts = [network.add_host(Host(f"h{i}", uplink_mbps=up, downlink_mbps=down))
+             for i, (up, down) in enumerate(host_specs)]
+    flows = []
+
+    def driver():
+        for delay, kind, a, b, size in ops:
+            yield env.timeout(delay)
+            if kind == "start":
+                src = hosts[a % len(hosts)]
+                dst = hosts[b % len(hosts)]
+                if src is not dst and src.online and dst.online:
+                    flows.append(network.transfer(src, dst, size))
+            elif kind == "abort":
+                if flows:
+                    network.abort(flows[a % len(flows)])
+            else:  # fail — never kill host 0 so some flows can still run
+                victim = hosts[1 + a % (len(hosts) - 1)]
+                victim.fail()
+
+    env.process(driver())
+    rate_probes = []
+    for t in probe_times:
+        env.run(until=t)
+        rate_probes.append(tuple(flow.rate_mbps for flow in flows))
+    env.run()
+    outcome = [
+        (flow.done.ok if flow.done.triggered else None,
+         flow.end_time, flow.transferred_mb)
+        for flow in flows
+    ]
+    stats = (network.completed_flows, network.failed_flows,
+             network.total_mb_delivered)
+    return outcome, rate_probes, stats
+
+
+PROBES = [0.5, 1.5, 3.0, 6.0]
+
+
+@common_settings
+@given(host_specs=host_spec_strategy, ops=flow_op_strategy)
+def test_vector_matches_dense_bit_exactly(host_specs, ops):
+    """Same IEEE op sequence ⇒ bit-identical rates, times and volumes."""
+    dense = _replay_schedule("dense", False, host_specs, ops, PROBES)
+    vector = _replay_schedule("vector", False, host_specs, ops, PROBES)
+    assert vector == dense
+
+
+@common_settings
+@given(host_specs=host_spec_strategy, ops=flow_op_strategy)
+def test_vector_matches_incremental_within_1e9(host_specs, ops):
+    incremental = _replay_schedule("incremental", True, host_specs, ops,
+                                   PROBES)
+    vector = _replay_schedule("vector", True, host_specs, ops, PROBES)
+    # Outcomes: same completion structure, times within tolerance.
+    assert len(vector[0]) == len(incremental[0])
+    for (v_ok, v_end, v_mb), (i_ok, i_end, i_mb) in zip(vector[0],
+                                                        incremental[0]):
+        assert v_ok == i_ok
+        if v_end is None or i_end is None:
+            assert v_end == i_end
+        else:
+            assert math.isclose(v_end, i_end, rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(v_mb, i_mb, rel_tol=1e-9, abs_tol=1e-9)
+    # Rates at every probe time.
+    for v_rates, i_rates in zip(vector[1], incremental[1]):
+        assert len(v_rates) == len(i_rates)
+        for v, i in zip(v_rates, i_rates):
+            assert math.isclose(v, i, rel_tol=1e-9, abs_tol=1e-9)
+    # Network-level statistics.
+    assert vector[2][:2] == incremental[2][:2]
+    assert math.isclose(vector[2][2], incremental[2][2],
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+def test_vector_exact_on_single_bottleneck_fanout():
+    """The scale-grid shape (one server uplink, N worker downlinks) is
+    exactly identical across all three allocators."""
+    results = {}
+    for name in ("dense", "incremental", "vector"):
+        env = Environment()
+        network = Network(env, default_latency_s=0.0, allocator=name)
+        server = network.add_host(Host("server", uplink_mbps=1000,
+                                       downlink_mbps=1000))
+        flows = []
+        for i in range(40):
+            worker = network.add_host(
+                Host(f"w{i}", uplink_mbps=30 + i, downlink_mbps=30 + i))
+            flows.append(network.transfer(server, worker, 50.0))
+        env.run(until=0.001)
+        rates = tuple(f.rate_mbps for f in network.active_flows)
+        env.run()
+        results[name] = (rates, tuple(f.end_time for f in flows),
+                         network.total_mb_delivered)
+    assert results["vector"] == results["dense"]
+    assert results["vector"] == results["incremental"]
+
+
+def test_vector_rates_are_feasible_and_work_conserving():
+    env = Environment()
+    network = Network(env, default_latency_s=0.0, allocator="vector")
+    server = network.add_host(Host("server", uplink_mbps=100,
+                                   downlink_mbps=100))
+    downs = [10.0, 20.0, 90.0]
+    flows = []
+    for i, down in enumerate(downs):
+        worker = network.add_host(Host(f"w{i}", uplink_mbps=down,
+                                       downlink_mbps=down))
+        flows.append(network.transfer(server, worker, 1000.0))
+    env.run(until=0.001)
+    rates = [f.rate_mbps for f in network.active_flows]
+    assert sum(rates) <= 100 * (1 + 1e-9)
+    for rate, down in zip(rates, downs):
+        assert rate <= down * (1 + 1e-9)
+    # The uplink is the bottleneck: max-min gives 10, 20, 70.
+    assert rates == pytest.approx([10.0, 20.0, 70.0])
+
+
+def test_make_allocator_resolves_names():
+    assert isinstance(make_allocator("dense"), DenseAllocator)
+    assert isinstance(make_allocator("incremental"), IncrementalAllocator)
+    assert isinstance(make_allocator("vector"), VectorAllocator)
+    with pytest.raises(ValueError):
+        make_allocator("waterfall")

@@ -1,0 +1,294 @@
+"""The pluggable event schedulers: heap vs calendar queue equivalence.
+
+The kernel's correctness contract is a total order over ``(time, priority,
+seq)``; any scheduler must realise it exactly.  These tests pin that
+equivalence three ways: structurally (random push/cancel/pop interleavings
+against both queues), at kernel level (random timer workloads through
+``Environment(scheduler=...)`` must produce identical firing traces), and
+through :class:`OracleScheduler`, which asserts agreement pop by pop.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Environment
+from repro.sim.scheduler import (
+    CalendarQueueScheduler,
+    HeapScheduler,
+    OracleScheduler,
+    make_scheduler,
+)
+
+common_settings = settings(max_examples=60, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+class _Stub:
+    """Stands in for a kernel Event/Timer: only ``cancelled`` matters."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+
+# ---------------------------------------------------------------------------
+# Structural equivalence: random op sequences against both queues
+# ---------------------------------------------------------------------------
+
+# Coarse timestamps make same-time collisions (the interesting case for a
+# bucketed queue) common rather than measure-zero.
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "push", "push", "pop", "cancel"]),
+        st.integers(min_value=0, max_value=12),   # time (coarse)
+        st.integers(min_value=0, max_value=2),    # priority
+        st.integers(min_value=0, max_value=10_000),  # cancel victim pick
+    ),
+    min_size=1, max_size=200)
+
+
+def _drive(ops, make_candidate):
+    """Interleave ops on a reference heap and a candidate; compare pops."""
+    reference = HeapScheduler()
+    candidate = make_candidate()
+    seq = 0
+    pending = []
+    popped = []
+    for kind, coarse_time, priority, pick in ops:
+        if kind == "push":
+            entry = (coarse_time / 4.0, priority, seq, _Stub())
+            seq += 1
+            pending.append(entry)
+            reference.push(entry)
+            candidate.push(entry)
+        elif kind == "cancel":
+            live = [e for e in pending if not e[3].cancelled]
+            if live:
+                live[pick % len(live)][3].cancelled = True
+                reference.note_cancelled()
+                candidate.note_cancelled()
+        else:  # pop
+            assert candidate.peek() is reference.peek()
+            try:
+                expected = reference.pop()
+            except IndexError:
+                with pytest.raises(IndexError):
+                    candidate.pop()
+                continue
+            assert candidate.pop() is expected
+            pending.remove(expected)
+            popped.append(expected)
+    # Drain: the tails must agree too, and the drain (no intervening
+    # pushes any more) must come out in full-key order.
+    drain = []
+    while True:
+        try:
+            expected = reference.pop()
+        except IndexError:
+            with pytest.raises(IndexError):
+                candidate.pop()
+            break
+        assert candidate.pop() is expected
+        drain.append(expected)
+    keys = [e[:3] for e in drain]
+    assert keys == sorted(keys)
+    assert not any(e[3].cancelled for e in popped + drain)
+
+
+@common_settings
+@given(ops=op_strategy)
+def test_calendar_pop_order_matches_heap(ops):
+    _drive(ops, CalendarQueueScheduler)
+
+
+@common_settings
+@given(ops=op_strategy,
+       width=st.sampled_from([0.1, 0.25, 1.0, 7.0, 1000.0]))
+def test_calendar_order_is_width_independent(ops, width):
+    """Any pinned bucket width realises the same total order."""
+    _drive(ops, lambda: CalendarQueueScheduler(width=width))
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level equivalence: timer workloads through Environment
+# ---------------------------------------------------------------------------
+
+delay_strategy = st.sampled_from([0.0, 0.25, 0.5, 0.5, 1.0, 1.5, 2.0, 5.0])
+
+timer_workload = st.tuples(
+    st.lists(delay_strategy, min_size=1, max_size=30),        # timer delays
+    st.lists(st.tuples(delay_strategy,                        # cancel at
+                       st.integers(min_value=0, max_value=29)),  # victim
+             max_size=10),
+)
+
+
+def _run_timer_workload(scheduler, timers, cancels):
+    env = Environment(scheduler=scheduler)
+    trace = []
+    handles = [
+        env.call_later(delay,
+                       lambda _ev, i=i: trace.append((env.now, i)))
+        for i, delay in enumerate(timers)
+    ]
+
+    def canceller():
+        for delay, victim in cancels:
+            yield env.timeout(delay)
+            handles[victim % len(handles)].cancel()
+
+    if cancels:
+        env.process(canceller())
+    env.run()
+    return trace, env.processed_events
+
+
+@common_settings
+@given(workload=timer_workload)
+def test_kernel_trace_identical_across_schedulers(workload):
+    timers, cancels = workload
+    heap_trace = _run_timer_workload("heap", timers, cancels)
+    calendar_trace = _run_timer_workload("calendar", timers, cancels)
+    assert calendar_trace == heap_trace
+
+
+@common_settings
+@given(workload=timer_workload)
+def test_oracle_certifies_timer_workloads(workload):
+    timers, cancels = workload
+    env = Environment(scheduler="oracle")
+    handles = [env.call_later(delay, lambda _ev: None) for delay in timers]
+
+    def canceller():
+        for delay, victim in cancels:
+            yield env.timeout(delay)
+            handles[victim % len(handles)].cancel()
+
+    if cancels:
+        env.process(canceller())
+    env.run()  # OracleScheduler raises AssertionError on any divergence
+    assert env.scheduler.agreements == env.processed_events
+
+
+# ---------------------------------------------------------------------------
+# Cancelled-timer residency: compaction keeps corpses from squatting
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["heap", "calendar"])
+def test_cancelled_timers_are_compacted_away(name):
+    env = Environment(scheduler=name)
+    live = env.call_later(100.0, lambda _ev: None)
+    corpses = [env.call_later(float(i + 1), lambda _ev: None)
+               for i in range(500)]
+    for timer in corpses:
+        timer.cancel()
+    # More than half the queue was cancelled: at least one compaction ran
+    # and the structure no longer carries ~500 dead entries.
+    assert env.scheduler.compactions >= 1
+    assert len(env.scheduler) <= 2
+    env.run()
+    assert live.cancelled is False
+    assert env.now == 100.0
+
+
+@pytest.mark.parametrize("name", ["heap", "calendar"])
+def test_cancel_rearm_storm_processes_once(name):
+    """The kernel's timer-reschedule pattern stays O(live) per scheduler."""
+    env = Environment(scheduler=name)
+    fired = []
+    timer = env.call_later(1.0, lambda _ev: fired.append(env.now))
+    for i in range(50):
+        timer.cancel()
+        timer = env.call_later(1.0 + i * 1e-3, lambda _ev: fired.append(env.now))
+    env.run()
+    assert fired == [1.0 + 49 * 1e-3]
+    assert env.processed_events == 1
+
+
+def test_double_cancel_counts_once():
+    env = Environment(scheduler="heap")
+    env.call_later(0.5, lambda _ev: None)  # keep the queue half live
+    timer = env.call_later(1.0, lambda _ev: None)
+    assert timer.cancel() is True
+    assert timer.cancel() is True   # cancelling twice is idempotent...
+    assert env.scheduler._cancelled == 1  # ...and accounted once
+
+
+# ---------------------------------------------------------------------------
+# Calendar-queue internals: adaptive width and the resize backoff
+# ---------------------------------------------------------------------------
+
+def test_calendar_resizes_when_one_bucket_overflows():
+    sched = CalendarQueueScheduler()  # width 1.0, auto
+    stub = _Stub()
+    n = CalendarQueueScheduler.RESIZE_INTERVAL + 10
+    for i in range(n):
+        # All in bucket 0 of the initial width, but with distinct
+        # timestamps, so a narrower width genuinely helps.
+        sched.push((i / (2.0 * n), 1, i, stub))
+    assert sched.resizes >= 1
+    assert sched.bucket_count > 1
+    assert sched.width < 1.0
+    keys = [sched.pop()[:3] for _ in range(len(sched))]
+    assert keys == sorted(keys)
+
+
+def test_calendar_same_timestamp_storm_backs_off():
+    """Re-bucketing cannot spread identical timestamps.  The backoff makes
+    rebuild attempts geometric in the live count (one per doubling) instead
+    of one O(n) rebuild every RESIZE_INTERVAL pushes — O(n log n) total
+    work on a same-time storm rather than O(n^2 / RESIZE_INTERVAL)."""
+    sched = CalendarQueueScheduler()
+    stub = _Stub()
+    interval = CalendarQueueScheduler.RESIZE_INTERVAL
+    n = interval * 16
+    for i in range(n):
+        sched.push((7.0, 1, i, stub))
+    # Without backoff: one rebuild per interval = n / interval = 16.
+    # With it: one per doubling of the live count = log2(16) + 1 = 5.
+    assert sched.resizes <= 6
+    assert sched._resize_backoff_live > 0
+    assert len(sched) == n
+    assert sched.pop()[:3] == (7.0, 1, 0)
+
+
+def test_calendar_pinned_width_never_resizes():
+    sched = CalendarQueueScheduler(width=0.5)
+    stub = _Stub()
+    for i in range(CalendarQueueScheduler.RESIZE_INTERVAL * 2):
+        sched.push((float(i % 3), 1, i, stub))
+    assert sched.resizes == 0
+    assert sched.width == 0.5
+
+
+def test_calendar_rejects_bad_width():
+    with pytest.raises(ValueError):
+        CalendarQueueScheduler(width=0.0)
+    with pytest.raises(ValueError):
+        CalendarQueueScheduler(width=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Wiring: make_scheduler and Environment(scheduler=...)
+# ---------------------------------------------------------------------------
+
+def test_make_scheduler_resolves_names():
+    assert isinstance(make_scheduler("heap"), HeapScheduler)
+    assert isinstance(make_scheduler("calendar"), CalendarQueueScheduler)
+    assert isinstance(make_scheduler("oracle"), OracleScheduler)
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        make_scheduler("btree")
+
+
+def test_environment_accepts_name_and_instance():
+    assert Environment(scheduler="calendar").scheduler_name == "calendar"
+    assert Environment().scheduler_name == "heap"
+    custom = CalendarQueueScheduler(width=0.125)
+    env = Environment(scheduler=custom)
+    assert env.scheduler is custom
+    fired = []
+    env.call_later(2.0, lambda _ev: fired.append(env.now))
+    env.run()
+    assert fired == [2.0]
