@@ -447,6 +447,8 @@ class BitDewEnvironment:
         host_heartbeat_period_s: float = 1.0,
         host_timeout_multiplier: float = 3.0,
         host_sweep_period_s: float = 0.25,
+        ring_vnodes: int = 16,
+        ring_seed: int = 0,
     ):
         self.topology = topology
         self.env: Environment = topology.env
@@ -481,6 +483,8 @@ class BitDewEnvironment:
                 host_timeout_multiplier=host_timeout_multiplier,
                 host_sweep_period_s=host_sweep_period_s,
                 failover_policy=failover_policy,
+                ring_vnodes=ring_vnodes,
+                ring_seed=ring_seed,
             )
             self.container = self.fabric
             self.router = FabricRouter(self.fabric)

@@ -18,6 +18,7 @@ from repro.experiments.registry import ScenarioRegistry
 # The bench modules import only repro.experiments.entry at module level, so
 # importing their private implementations here is cycle-free.
 from repro.bench.blast import _run_blast_once, _run_fig5, _run_fig6
+from repro.bench.elastic import _run_fabric_autoscale, _run_fabric_rebalance
 from repro.bench.fabric import _run_fabric_failover, _run_fabric_scale
 from repro.bench.fault import _run_fig4
 from repro.bench.micro import (
@@ -144,6 +145,16 @@ def build_registry() -> ScenarioRegistry:
         title="Service-host crash: heartbeat-driven shard failover and recovery",
         paper_ref="beyond the paper (service architecture, §3.1/§3.4)",
         group="scale", tags=("bench", "fabric", "churn"))
+    registry.register(
+        "fabric-rebalance", _run_fabric_rebalance,
+        title="Live shard split+merge under traffic: zero-loss key migration",
+        paper_ref="beyond the paper (service architecture, §3.1/§3.4)",
+        group="scale", tags=("bench", "fabric"))
+    registry.register(
+        "fabric-autoscale", _run_fabric_autoscale,
+        title="SLO-driven autoscaler on a diurnal trace: fixed vs elastic shards",
+        paper_ref="beyond the paper (service architecture, §3.1/§3.4)",
+        group="scale", tags=("bench", "fabric"))
     registry.register(
         "sweep-parallel", _run_sweep_parallel,
         title="Sweep executor throughput: serial vs process pool vs cache",

@@ -186,6 +186,14 @@ class RpcChannel:
             self.latency_by_label.get(label, 0.0) + cost)
         if cost > 0:
             yield self.env.timeout(cost / 2.0)
+        if endpoint.host is not None and not endpoint.host.online:
+            # The host died while the request was marshalled/in transit:
+            # the method never ran, so this is a plain retryable RpcError —
+            # not a lost response, which at-most-once must never retry.
+            raise RpcError(
+                f"service host {endpoint.host.name} went offline before "
+                f"dispatch (calling {endpoint.label()}.{method})"
+            )
         result = target(*args, **kwargs)
         if inspect.isgenerator(result):
             result = yield self.env.process(result)

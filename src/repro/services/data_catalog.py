@@ -148,3 +148,64 @@ class DataCatalogService:
     def lookup_pair_now(self, key: str) -> set:
         values = self.database.raw_get(_KV, key, set())
         return set(values) if values else set()
+
+    # ------------------------------------------------------------------ migration
+    # The elastic fabric (services/rebalance.py) moves catalog state between
+    # shards one *routing key* at a time.  A routing key K bundles everything
+    # the router ever sends to this shard under K: the datum with uid K, the
+    # locators of data_uid K, and the key/value set published under K.
+
+    def migration_keys(self) -> List[str]:
+        """Sorted routing keys with any state on this shard (no DB cost)."""
+        keys = set(self.database.collection(_DATA))
+        keys.update(self.database.collection(_KV))
+        for locator in self.database.raw_query(_LOCATORS):
+            keys.add(locator.data_uid)
+        return sorted(keys)
+
+    def export_key_now(self, key: str) -> dict:
+        """Everything stored under routing key *key* (cost-free snapshot)."""
+        return {
+            "data": self.database.raw_get(_DATA, key),
+            "locators": sorted(
+                self.database.raw_query(_LOCATORS,
+                                        lambda l: l.data_uid == key),
+                key=lambda l: l.uid),
+            "kv": self.database.raw_get(_KV, key),
+        }
+
+    def export_key(self, key: str):
+        """Generator: read one routing key's state out (one admin-connection statement)."""
+        self.requests += 1
+        snapshot = yield from self.database.admin_execute(
+            lambda: self.export_key_now(key))
+        return snapshot
+
+    def import_key_now(self, key: str, snapshot: dict) -> None:
+        """Install *snapshot* under *key*, replacing any previous state."""
+        self.drop_key_now(key)
+        if snapshot.get("data") is not None:
+            self.database.raw_upsert(_DATA, key, snapshot["data"])
+        for locator in snapshot.get("locators", ()):
+            self.database.raw_upsert(_LOCATORS, locator.uid, locator)
+        if snapshot.get("kv") is not None:
+            self.database.raw_upsert(_KV, key, set(snapshot["kv"]))
+
+    def import_key(self, key: str, snapshot: dict):
+        """Generator: install one routing key's state (one admin-connection statement)."""
+        self.requests += 1
+        yield from self.database.admin_execute(
+            lambda: self.import_key_now(key, snapshot))
+
+    def drop_key_now(self, key: str) -> None:
+        """Remove every record under routing key *key* (migration clean-up)."""
+        self.database.raw_delete(_DATA, key)
+        for locator in self.database.raw_query(_LOCATORS,
+                                               lambda l: l.data_uid == key):
+            self.database.raw_delete(_LOCATORS, locator.uid)
+        self.database.raw_delete(_KV, key)
+
+    def drop_key(self, key: str):
+        """Generator: drop one routing key's state (one admin-connection statement)."""
+        self.requests += 1
+        yield from self.database.admin_execute(lambda: self.drop_key_now(key))

@@ -147,6 +147,15 @@ class DataSchedulerService:
         self._unresolved: Set[str] = set()
         #: (expire_at, seq, uid, generation) rows; validated lazily on pop
         self._expiry_heap: List[Tuple[float, int, str, int]] = []
+        #: uids frozen during a shard migration: compute_schedule makes no
+        #: *new* assignments of these (existing owners keep their copies)
+        self._quiesced: Set[str] = set()
+        #: migration dirty-tracking callback (set by the rebalance
+        #: coordinator while this shard is a migration source): called with
+        #: the uid of every Θ mutation that happens outside the router's
+        #: tracked request path — scheduler-internal owner changes from
+        #: syncs, failure-detector repairs, expiries
+        self._mutation_hook = None
         #: statistics
         self.sync_count = 0
         self.assignments = 0
@@ -261,6 +270,8 @@ class DataSchedulerService:
         # References this entry provided may now be dangling.
         self._mark_unresolved_dependents(uid)
         self._mark_unresolved_dependents(entry.data.name)
+        if self._mutation_hook is not None:
+            self._mutation_hook(uid)
         return entry
 
     def _add_owner(self, entry: ScheduledEntry, host_name: str) -> None:
@@ -269,6 +280,8 @@ class DataSchedulerService:
         entry.owners.add(host_name)
         self._owner_index.setdefault(host_name, set()).add(entry.uid)
         self._update_deficit(entry)
+        if self._mutation_hook is not None:
+            self._mutation_hook(entry.uid)
 
     def _remove_owner(self, entry: ScheduledEntry, host_name: str) -> None:
         if host_name not in entry.owners:
@@ -280,6 +293,8 @@ class DataSchedulerService:
             if not owned:
                 del self._owner_index[host_name]
         self._update_deficit(entry)
+        if self._mutation_hook is not None:
+            self._mutation_hook(entry.uid)
 
     # ------------------------------------------------------------------ Θ management
     def schedule(self, data: Data, attribute: Optional[Attribute] = None) -> ScheduledEntry:
@@ -303,6 +318,8 @@ class DataSchedulerService:
         if self.database is not None:
             self.database.raw_upsert("ds.entries", data.uid, {
                 "data": data, "attribute": attr, "at": self.env.now})
+        if self._mutation_hook is not None:
+            self._mutation_hook(data.uid)
         return entry
 
     def pin(self, data: Data, host_name: str,
@@ -491,6 +508,10 @@ class DataSchedulerService:
             self.entries_examined += 1
             if uid in psi or uid in cached_uids:
                 continue
+            if self._quiesced and uid in self._quiesced:
+                # Frozen for migration: no new placements until the key's
+                # new shard takes over (it stays in the deficit for later).
+                continue
             if not self._lifetime_valid(entry):
                 # Dead candidates leave the deficit so later syncs stop
                 # re-examining them (the final requeue filter checks
@@ -602,6 +623,102 @@ class DataSchedulerService:
                 self.repairs_triggered += 1
             # Non-fault-tolerant data: the replica stays registered (it will be
             # available again if the host comes back), as prescribed in §3.2.
+
+    # ------------------------------------------------------------------ migration
+    # The elastic fabric moves Θ entries between scheduler shards by uid.
+    # Export/import preserve everything Algorithm 1 can observe — attribute,
+    # owners Ω, pinned hosts, the original scheduled_at (absolute lifetimes
+    # keep their expiry instant) — except the Θ-insertion seq, which is
+    # re-issued on the destination in deterministic import order.
+
+    def migration_keys(self) -> List[str]:
+        """Sorted uids under this shard's management (no simulated cost)."""
+        return sorted(self._entries)
+
+    def export_entry_now(self, data_uid: str) -> Optional[dict]:
+        entry = self._entries.get(data_uid)
+        if entry is None:
+            return None
+        return {
+            "data": entry.data,
+            "attribute": entry.attribute,
+            "scheduled_at": entry.scheduled_at,
+            "owners": set(entry.owners),
+            "pinned_on": set(entry.pinned_on),
+        }
+
+    def export_entry(self, data_uid: str):
+        """Generator: read one Θ entry out (one admin-connection statement)."""
+        if self.database is not None:
+            snapshot = yield from self.database.admin_execute(
+                lambda: self.export_entry_now(data_uid))
+        else:
+            yield self.env.timeout(0.0)
+            snapshot = self.export_entry_now(data_uid)
+        return snapshot
+
+    def import_entry_now(self, snapshot: dict) -> ScheduledEntry:
+        data = snapshot["data"]
+        if data.uid in self._entries:
+            # Delta re-copy replaces the previous import wholesale.
+            self._remove_entry(data.uid)
+        entry = ScheduledEntry(data=data, attribute=snapshot["attribute"],
+                               scheduled_at=snapshot["scheduled_at"],
+                               seq=next(self._seq))
+        self._entries[data.uid] = entry
+        self._by_name.setdefault(data.name, set()).add(data.uid)
+        self._resolve_dependents(data.uid)
+        self._resolve_dependents(data.name)
+        self._attach_attribute(entry)
+        for host in sorted(snapshot["owners"]):
+            self._add_owner(entry, host)
+        entry.pinned_on.update(snapshot["pinned_on"])
+        if self.database is not None:
+            self.database.raw_upsert("ds.entries", data.uid, {
+                "data": data, "attribute": entry.attribute,
+                "at": entry.scheduled_at})
+        return entry
+
+    def import_entry(self, snapshot: dict):
+        """Generator: install one Θ entry (one admin-connection statement)."""
+        if self.database is not None:
+            entry = yield from self.database.admin_execute(
+                lambda: self.import_entry_now(snapshot))
+        else:
+            yield self.env.timeout(0.0)
+            entry = self.import_entry_now(snapshot)
+        return entry
+
+    def drop_entry_now(self, data_uid: str) -> bool:
+        """Remove a migrated-away entry from this shard's Θ.
+
+        Unlike :meth:`unschedule` this is *not* host-visible: by the time
+        the source shard drops the entry the router already sends every
+        request for the uid — including the synchronisations whose Ψ decides
+        deletions — to the destination shard, which manages it.
+        """
+        removed = self._remove_entry(data_uid)
+        self._quiesced.discard(data_uid)
+        if self.database is not None:
+            self.database.raw_delete("ds.entries", data_uid)
+        return removed is not None
+
+    def drop_entry(self, data_uid: str):
+        """Generator: drop one migrated entry (one admin-connection statement)."""
+        if self.database is not None:
+            removed = yield from self.database.admin_execute(
+                lambda: self.drop_entry_now(data_uid))
+        else:
+            yield self.env.timeout(0.0)
+            removed = self.drop_entry_now(data_uid)
+        return removed
+
+    def quiesce(self, uids) -> None:
+        """Freeze new placements of *uids* while they migrate away."""
+        self._quiesced.update(uids)
+
+    def unquiesce(self, uids) -> None:
+        self._quiesced.difference_update(uids)
 
     def missing_replicas(self) -> Dict[str, int]:
         """uids whose live owner count is below the requested replica level."""

@@ -61,8 +61,14 @@ class ShardedDataCatalog:
     def __init__(self, shards: Sequence[DataCatalogService], ring: ShardRing):
         self.shards = list(shards)
         self.ring = ring
+        #: the active ShardMigration overlay, if a rebalance is in flight —
+        #: cost-free facade access follows the same effective routing as
+        #: the RPC router so harness bookkeeping reads the right shard.
+        self.migration = None
 
     def _shard(self, key: str) -> DataCatalogService:
+        if self.migration is not None:
+            return self.shards[self.migration.effective_shard("dc", key)]
         return self.shards[self.ring.shard_for(key)]
 
     # -- keyed pass-throughs (cost-free bookkeeping variants) ---------------
@@ -104,8 +110,12 @@ class ShardedDataScheduler:
     def __init__(self, shards: Sequence[DataSchedulerService], ring: ShardRing):
         self.shards = list(shards)
         self.ring = ring
+        #: the active ShardMigration overlay, if a rebalance is in flight
+        self.migration = None
 
     def _shard(self, uid: str) -> DataSchedulerService:
+        if self.migration is not None:
+            return self.shards[self.migration.effective_shard("ds", uid)]
         return self.shards[self.ring.shard_for(uid)]
 
     # -- keyed pass-throughs ------------------------------------------------
@@ -195,6 +205,8 @@ class ServiceFabric:
         host_timeout_multiplier: float = 3.0,
         host_sweep_period_s: float = 0.25,
         failover_policy: Optional[FailoverPolicy] = None,
+        ring_vnodes: int = 16,
+        ring_seed: int = 0,
     ):
         hosts = list(hosts)
         if not hosts:
@@ -220,6 +232,9 @@ class ServiceFabric:
         engine = engine if engine is not None else EmbeddedSQLEngine()
         self.engine = engine
         self.registry = registry if registry is not None else default_registry(env, network)
+        # Saved so add_shard() can build a new shard's database identically.
+        self._use_connection_pool = use_connection_pool
+        self._pool_size = pool_size
 
         # Service-host failure detection drives shard failover; it sweeps
         # faster than the volatile-host detector so reroutes land promptly.
@@ -259,34 +274,17 @@ class ServiceFabric:
             account_monitor_bandwidth=account_monitor_bandwidth)
 
         # -- sharded services ----------------------------------------------
-        self.dc_ring = ShardRing(shards, label="dc")
-        self.ds_ring = ShardRing(shards, label="ds")
+        self.dc_ring = ShardRing(shards, label="dc", vnodes=ring_vnodes,
+                                 seed=ring_seed)
+        self.ds_ring = ShardRing(shards, label="ds", vnodes=ring_vnodes,
+                                 seed=ring_seed)
         self.shard_databases: List[Database] = []
         self.catalog_shards: List[DataCatalogService] = []
         self.scheduler_shards: List[DataSchedulerService] = []
         self._endpoints: Dict[str, List[List[RpcEndpoint]]] = {
             "dc": [], "ds": []}
         for index in range(shards):
-            pool = (ConnectionPool(env, engine, size=pool_size)
-                    if use_connection_pool else None)
-            database = Database(env, engine=engine, pool=pool)
-            self.shard_databases.append(database)
-            catalog = DataCatalogService(database)
-            scheduler = DataSchedulerService(
-                env, database=database,
-                failure_detector=self.failure_detector,
-                max_data_schedule=max_data_schedule)
-            self.catalog_shards.append(catalog)
-            self.scheduler_shards.append(scheduler)
-            replica_hosts = self._replica_hosts(index)
-            self._endpoints["dc"].append([
-                RpcEndpoint(catalog, host=h, name="DataCatalog",
-                            shard=f"dc-{index}")
-                for h in replica_hosts])
-            self._endpoints["ds"].append([
-                RpcEndpoint(scheduler, host=h, name="DataScheduler",
-                            shard=f"ds-{index}")
-                for h in replica_hosts])
+            self._build_shard(index)
         self._endpoints["dr"] = [[
             RpcEndpoint(self.data_repository, host=self.host,
                         name="DataRepository")]]
@@ -305,6 +303,71 @@ class ServiceFabric:
         #: bumped by every start(); heartbeat loops exit on a stale epoch,
         #: so stop()+start() never leaves two loops beating per host.
         self._epoch = 0
+
+    # ------------------------------------------------------------------ shard construction
+    def _build_shard(self, index: int) -> None:
+        """Build shard *index*'s database, services and replica endpoints."""
+        pool = (ConnectionPool(self.env, self.engine, size=self._pool_size)
+                if self._use_connection_pool else None)
+        database = Database(self.env, engine=self.engine, pool=pool)
+        self.shard_databases.append(database)
+        catalog = DataCatalogService(database)
+        scheduler = DataSchedulerService(
+            self.env, database=database,
+            failure_detector=self.failure_detector,
+            max_data_schedule=self.max_data_schedule)
+        self.catalog_shards.append(catalog)
+        self.scheduler_shards.append(scheduler)
+        replica_hosts = self._replica_hosts(index)
+        self._endpoints["dc"].append([
+            RpcEndpoint(catalog, host=h, name="DataCatalog",
+                        shard=f"dc-{index}")
+            for h in replica_hosts])
+        self._endpoints["ds"].append([
+            RpcEndpoint(scheduler, host=h, name="DataScheduler",
+                        shard=f"ds-{index}")
+            for h in replica_hosts])
+
+    # ------------------------------------------------------------------ elasticity
+    def add_shard(self) -> int:
+        """Bring up the services/database/endpoints for one new tail shard.
+
+        Routing does **not** change here: ``self.shards`` and the rings are
+        only committed by :meth:`commit_transition` once the rebalance
+        coordinator has copied the new shard's keys over.  Until then the
+        shard exists as endpoint group ``index`` that only the migration
+        overlay routes to.
+        """
+        index = len(self.catalog_shards)
+        self._build_shard(index)
+        self.data_catalog.shards.append(self.catalog_shards[index])
+        self.data_scheduler.shards.append(self.scheduler_shards[index])
+        return index
+
+    def commit_transition(self, dc_ring: ShardRing, ds_ring: ShardRing,
+                          shards: int) -> None:
+        """Make the new rings/shard count authoritative fabric-wide."""
+        self.dc_ring = dc_ring
+        self.ds_ring = ds_ring
+        self.shards = shards
+        self.data_catalog.ring = dc_ring
+        self.data_scheduler.ring = ds_ring
+
+    def retire_tail_shard(self) -> None:
+        """Tear down the (drained, idle) tail shard after a merge."""
+        self.shard_databases.pop()
+        self.catalog_shards.pop()
+        self.scheduler_shards.pop()
+        self._endpoints["dc"].pop()
+        self._endpoints["ds"].pop()
+        self.data_catalog.shards.pop()
+        self.data_scheduler.shards.pop()
+
+    def endpoint_group_count(self, service: str) -> int:
+        """Endpoint groups currently up for *service* — during a split this
+        exceeds ``shard_count`` by the joining shard until commit."""
+        groups = self._endpoints.get(service)
+        return len(groups) if groups else 1
 
     # ------------------------------------------------------------------ placement
     def _replica_hosts(self, shard_index: int) -> List[Host]:

@@ -30,13 +30,70 @@ Algorithm 1's host-visible semantics.  Methods with no key (e.g.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dht.chord import ChordRing, chord_hash
 from repro.net.rpc import FailoverPolicy, RpcChannel, RpcEndpoint, RpcError
 from repro.services.data_scheduler import SyncResult
 
-__all__ = ["FabricRouter", "ServiceRouter", "ShardRing", "StaticRouter"]
+__all__ = ["FabricRouter", "HandoffPlan", "KeyMove", "ServiceRouter",
+           "ShardRing", "StaticRouter"]
+
+
+@dataclass(frozen=True)
+class KeyMove:
+    """One key whose owning shard changes in a ring transition."""
+
+    key: str
+    src: int
+    dst: int
+
+
+@dataclass
+class HandoffPlan:
+    """The per-key migration plan for one ring transition.
+
+    Produced by :meth:`ShardRing.plan_handoff`: the sorted list of keys
+    whose owner differs between the old and the new ring, plus enough
+    metadata to judge the plan against the theoretical minimum.  Because a
+    split only *adds* vnodes (and a merge only removes the leaving shard's
+    vnodes) while every surviving vnode keeps its ring position, the plan
+    is minimal by construction: a key moves iff its successor vnode
+    changed, which happens iff its new owner differs from its old one.
+    """
+
+    old_shards: int
+    new_shards: int
+    total_keys: int
+    moves: List[KeyMove] = field(default_factory=list)
+
+    @property
+    def keys_moved(self) -> int:
+        return len(self.moves)
+
+    @property
+    def theoretical_minimum(self) -> float:
+        """Expected minimal moves for a balanced ring: K·|S'−S|/max(S,S').
+
+        Growing S→S' shards, the new shards own (S'−S)/S' of a perfectly
+        balanced keyspace, so that fraction of the K keys *must* move;
+        shrinking, the leaving shards owned (S−S')/S of it.  Vnode
+        placement is hash-random, so a real ring deviates from this by the
+        arc-imbalance factor (shrinking with more vnodes) — the property
+        suite pins the deviation, the bench reports the measured ratio.
+        """
+        larger = max(self.old_shards, self.new_shards)
+        if larger == 0:
+            return 0.0
+        return (self.total_keys
+                * abs(self.new_shards - self.old_shards) / larger)
+
+    def moves_into(self, shard: int) -> List[KeyMove]:
+        return [m for m in self.moves if m.dst == shard]
+
+    def moves_out_of(self, shard: int) -> List[KeyMove]:
+        return [m for m in self.moves if m.src == shard]
 
 
 class ShardRing:
@@ -51,19 +108,30 @@ class ShardRing:
     """
 
     def __init__(self, shards: int, label: str = "shard", bits: int = 32,
-                 vnodes: int = 16):
+                 vnodes: int = 16, seed: int = 0):
         if shards < 1:
             raise ValueError("shards must be at least 1")
         if vnodes < 1:
             raise ValueError("vnodes must be at least 1")
         self.shards = shards
         self.label = label
+        self.bits = bits
+        self.vnodes = vnodes
+        self.seed = int(seed)
         self._ring = ChordRing(bits=bits, replication=1)
         self._index: Dict[str, int] = {}
         for i in range(shards):
             for v in range(vnodes):
-                node = self._ring.join(f"{label}-{i}#{v}")
+                node = self._ring.join(self._vnode_name(i, v))
                 self._index[node.name] = i
+
+    def _vnode_name(self, shard: int, vnode: int) -> str:
+        # seed 0 keeps the pre-elastic vnode names (and hence ring
+        # positions) byte-for-byte — the default deployment's key→shard map
+        # is unchanged.  Non-zero seeds salt every vnode id, giving
+        # property tests an independent ring family per seed.
+        base = f"{self.label}-{shard}#{vnode}"
+        return base if self.seed == 0 else f"{base}~{self.seed}"
 
     def shard_for(self, key: str) -> int:
         """The shard index responsible for *key*."""
@@ -78,6 +146,62 @@ class ShardRing:
         for key in keys:
             parts.setdefault(self.shard_for(key), set()).add(key)
         return parts
+
+    # -------------------------------------------------------------- elasticity
+    def with_shards(self, shards: int) -> "ShardRing":
+        """A new ring over *shards* shards, same label/bits/vnodes/seed.
+
+        Because vnode names are a pure function of (label, seed, shard
+        index, vnode index), the surviving shards' vnodes land on exactly
+        the same ring positions: transitioning S→S±1 only inserts (or
+        removes) the tail shard's vnode arcs.
+        """
+        return ShardRing(shards, label=self.label, bits=self.bits,
+                         vnodes=self.vnodes, seed=self.seed)
+
+    def plan_handoff(self, new_ring: "ShardRing",
+                     keys: Iterable[str]) -> HandoffPlan:
+        """The deterministic per-key migration plan from this ring to *new_ring*.
+
+        Enumerates *keys* in sorted order and records every key whose
+        owner differs between the rings.  Both rings must belong to the
+        same family (label/bits/vnodes/seed) or the "only owner-changed
+        keys move" guarantee does not hold.
+        """
+        if (new_ring.label, new_ring.bits, new_ring.vnodes, new_ring.seed) \
+                != (self.label, self.bits, self.vnodes, self.seed):
+            raise ValueError(
+                "handoff requires rings of the same family "
+                f"(label/bits/vnodes/seed): {self.label!r} vs {new_ring.label!r}")
+        moves: List[KeyMove] = []
+        total = 0
+        for key in sorted(set(keys)):
+            total += 1
+            src = self.shard_for(key)
+            dst = new_ring.shard_for(key)
+            if src != dst:
+                moves.append(KeyMove(key, src, dst))
+        return HandoffPlan(old_shards=self.shards, new_shards=new_ring.shards,
+                           total_keys=total, moves=moves)
+
+    def arc_share(self, shard: int) -> float:
+        """Fraction of the identifier space owned by *shard*'s vnodes.
+
+        The expected fraction of keys a shard serves — the hotspot
+        monitor normalises per-shard load by this to separate "hot keys"
+        from "big arc".
+        """
+        nodes = self._ring.nodes
+        if not nodes:
+            return 0.0
+        modulus = self._ring.modulus
+        share = 0
+        previous = nodes[-1].node_id - modulus
+        for node in nodes:
+            if self._index[node.name] == shard:
+                share += node.node_id - previous
+            previous = node.node_id
+        return share / modulus
 
 
 class ServiceRouter:
@@ -128,10 +252,28 @@ _ROUTING_KEYS: Dict[str, Dict[str, Optional[Callable[..., str]]]] = {
     },
 }
 
+def _dedup_by_uid(rows):
+    """Stable de-duplication by ``uid`` — the migration dual-read guard.
+
+    While a shard migration is copying, a datum legitimately exists on both
+    its old and its new shard; a scatter that reads both must report it
+    once.  Without a migration no two shards hold the same uid, so this is
+    the identity on the default path.
+    """
+    seen: Set[str] = set()
+    out = []
+    for row in rows:
+        if row.uid in seen:
+            continue
+        seen.add(row.uid)
+        out.append(row)
+    return out
+
+
 #: How a scatter merges per-shard returns, per (service, method).
 _SCATTER_MERGE = {
-    ("dc", "find_by_name"): lambda results: [row for rows in results
-                                             for row in rows],
+    ("dc", "find_by_name"): lambda results: _dedup_by_uid(
+        row for rows in results for row in rows),
 }
 
 #: Sentinel distinguishing "no extractor registered" from "scatter" (None).
@@ -152,6 +294,16 @@ class FabricRouter(ServiceRouter):
         self.reroutes_by_shard: Dict[str, int] = {}
         #: synchronisations routed so far; rotates the batch-limit remainder
         self._sync_rounds = 0
+        #: the active :class:`~repro.services.rebalance.ShardMigration`
+        #: overlay, or None.  While set, keyed invocations consult the
+        #: migration for the effective shard (planned keys follow the
+        #: copy → flip state machine; keys born during the migration route
+        #: by the *new* ring) and scatters cover every endpoint group.
+        self.migration = None
+        #: in-flight invocations per (service, shard); the rebalance
+        #: coordinator waits for a leaving shard's count to reach zero
+        #: before retiring its endpoints.
+        self.outstanding: Dict[Tuple[str, int], int] = {}
 
     # ------------------------------------------------------------------ resolution
     def _live_endpoint(self, service: str, shard: int) -> RpcEndpoint:
@@ -180,6 +332,19 @@ class FabricRouter(ServiceRouter):
         return lambda: self._live_endpoint(service, shard)
 
     # ------------------------------------------------------------------ invocation
+    def _call(self, channel: RpcChannel, service: str, shard: int, method: str,
+              args, kwargs):
+        """Generator: one failover invocation, tracked per (service, shard)."""
+        slot = (service, shard)
+        self.outstanding[slot] = self.outstanding.get(slot, 0) + 1
+        try:
+            result = yield from channel.invoke_failover(
+                self._resolver(service, shard), method, *args,
+                policy=self.policy, **kwargs)
+        finally:
+            self.outstanding[slot] -= 1
+        return result
+
     def invoke(self, channel: RpcChannel, service: str, method: str,
                *args, **kwargs):
         if service == "ds" and method == "synchronize":
@@ -187,9 +352,7 @@ class FabricRouter(ServiceRouter):
         shards = self.fabric.shard_count(service)
         if shards <= 0:
             # Unsharded service (DR/DT): single replica group, shard 0.
-            return channel.invoke_failover(
-                self._resolver(service, 0), method, *args,
-                policy=self.policy, **kwargs)
+            return self._call(channel, service, 0, method, args, kwargs)
         extractor = _ROUTING_KEYS.get(service, {}).get(method, _MISSING)
         if extractor is _MISSING:
             raise RpcError(
@@ -198,10 +361,47 @@ class FabricRouter(ServiceRouter):
         if extractor is None:
             return self._invoke_scatter(channel, service, method,
                                         *args, **kwargs)
-        shard = self.fabric.ring_for(service).shard_for(extractor(*args))
-        return channel.invoke_failover(
-            self._resolver(service, shard), method, *args,
-            policy=self.policy, **kwargs)
+        key = extractor(*args)
+        if self.migration is not None:
+            return self._invoke_migrating(channel, service, method, key,
+                                          args, kwargs)
+        shard = self.fabric.ring_for(service).shard_for(key)
+        return self._call(channel, service, shard, method, args, kwargs)
+
+    def _invoke_migrating(self, channel: RpcChannel, service: str, method: str,
+                          key: str, args, kwargs):
+        """Generator: one keyed invocation while a migration overlay is up.
+
+        Planned keys route to their source shard until flipped, then to
+        their destination — except over the sealed cutover window, where
+        the call *blocks* and resumes against the new owner (the
+        "forwarding" that makes the cutover lossless).  The overlay tracks
+        the call so the coordinator can drain in-flight work, and marks the
+        key dirty on completion so post-copy mutations are re-copied.
+        """
+        migration = self.migration
+        yield from migration.wait_key(service, key)
+        migration = self.migration    # the migration may have ended meanwhile
+        if migration is None:
+            shard = self.fabric.ring_for(service).shard_for(key)
+            result = yield from self._call(channel, service, shard, method,
+                                           args, kwargs)
+            return result
+        shard = migration.effective_shard(service, key)
+        token = migration.note_enter(service, (key,))
+        try:
+            result = yield from self._call(channel, service, shard, method,
+                                           args, kwargs)
+        finally:
+            migration.note_exit(token)
+        return result
+
+    def wait_shard_idle(self, shard: int):
+        """Generator: wait until no invocation targets *shard* any more."""
+        env = self.fabric.env
+        while (self.outstanding.get(("dc", shard), 0)
+               + self.outstanding.get(("ds", shard), 0)) > 0:
+            yield env.timeout(0.01)
 
     def _fan_out(self, channel: RpcChannel, calls):
         """Generator: run per-shard invocations *concurrently* and gather.
@@ -218,9 +418,8 @@ class FabricRouter(ServiceRouter):
 
         def one(service, shard, method, args, kwargs):
             try:
-                result = yield from channel.invoke_failover(
-                    self._resolver(service, shard), method, *args,
-                    policy=self.policy, **kwargs)
+                result = yield from self._call(channel, service, shard,
+                                               method, args, kwargs)
             except RpcError as exc:
                 return (False, exc)
             return (True, result)
@@ -237,9 +436,16 @@ class FabricRouter(ServiceRouter):
                         *args, **kwargs):
         """Generator: fan a keyless call out to every shard and merge."""
         merge = _SCATTER_MERGE[(service, method)]
+        count = self.fabric.shard_count(service)
+        if self.migration is not None:
+            # During a migration the scatter must reach every endpoint
+            # group that may still hold state (the joining shard during a
+            # split, the leaving shard until its drain completes); the
+            # merge de-duplicates the dual reads.
+            count = self.fabric.endpoint_group_count(service)
         results = yield from self._fan_out(channel, [
             (service, shard, method, args, kwargs)
-            for shard in range(self.fabric.shard_count(service))])
+            for shard in range(count)])
         return merge(results)
 
     def _invoke_synchronize(self, channel: RpcChannel, host_name: str,
@@ -259,6 +465,11 @@ class FabricRouter(ServiceRouter):
         shards than budget, every shard still gets its turn instead of a
         fixed prefix starving the rest forever.
         """
+        if self.migration is not None:
+            result = yield from self._sync_migrating(
+                channel, host_name, set(cached_uids), reservoir, max_new,
+                payload_kb)
+            return result
         ring = self.fabric.ring_for("ds")
         parts = ring.partition(set(cached_uids))
         limit = int(max_new if max_new is not None
@@ -275,6 +486,9 @@ class FabricRouter(ServiceRouter):
                           {"reservoir": reservoir, "max_new": per_shard,
                            "payload_kb": payload_kb}))
         results = yield from self._fan_out(channel, calls)
+        return self._merge_sync(channel, host_name, results)
+
+    def _merge_sync(self, channel: RpcChannel, host_name: str, results):
         assigned: List = []
         to_delete: List[str] = []
         to_download: List[str] = []
@@ -286,3 +500,49 @@ class FabricRouter(ServiceRouter):
                           to_delete=sorted(to_delete),
                           to_download=sorted(to_download),
                           time=channel.env.now)
+
+    def _sync_migrating(self, channel: RpcChannel, host_name: str,
+                        cached_uids: Set[str], reservoir: bool,
+                        max_new: Optional[int], payload_kb: float):
+        """Generator: one synchronisation while a migration overlay is up.
+
+        The cache view is partitioned by *effective* owner (planned uids
+        follow the migration state machine, new uids the new ring) over
+        every endpoint group, the whole synchronisation blocks while any
+        of its uids sits in the sealed cutover window, and the planned
+        uids it carries are tracked/dirty-marked like keyed invocations —
+        a sync's step-1 owner registration mutates scheduler state.
+        """
+        migration = self.migration
+        yield from migration.wait_keys("ds", cached_uids)
+        migration = self.migration
+        if migration is None:
+            # The migration ended while this sync was parked at the seal;
+            # run it as a plain post-migration synchronisation.
+            result = yield from self._invoke_synchronize(
+                channel, host_name, cached_uids, reservoir=reservoir,
+                max_new=max_new, payload_kb=payload_kb)
+            return result
+        shards = self.fabric.endpoint_group_count("ds")
+        parts: Dict[int, Set[str]] = {}
+        for uid in cached_uids:
+            parts.setdefault(migration.effective_shard("ds", uid),
+                             set()).add(uid)
+        limit = int(max_new if max_new is not None
+                    else self.fabric.max_data_schedule)
+        base, extra = divmod(limit, shards)
+        offset = self._sync_rounds % shards
+        self._sync_rounds += 1
+        calls = []
+        for shard in range(shards):
+            per_shard = base + (1 if (shard - offset) % shards < extra else 0)
+            calls.append(("ds", shard, "synchronize",
+                          (host_name, parts.get(shard, set())),
+                          {"reservoir": reservoir, "max_new": per_shard,
+                           "payload_kb": payload_kb}))
+        token = migration.note_enter("ds", cached_uids)
+        try:
+            results = yield from self._fan_out(channel, calls)
+        finally:
+            migration.note_exit(token)
+        return self._merge_sync(channel, host_name, results)

@@ -127,6 +127,9 @@ class Database:
         self._collections: Dict[str, Dict[str, Any]] = {}
         #: The database executes statements serially by default.
         self._executor = Resource(env, capacity=max(1, concurrency))
+        #: Dedicated admin connection (see :meth:`admin_execute`).
+        self._admin_executor = Resource(env, capacity=1)
+        self._admin_connected = False
         #: statistics
         self.operations = 0
         self.busy_time_s = 0.0
@@ -192,6 +195,30 @@ class Database:
         finally:
             if pooled_request is not None:
                 self.pool.release(pooled_request)
+        self.operations += 1
+        self.busy_time_s += self.env.now - start
+        return result
+
+    def admin_execute(self, operation: Callable[[], Any], statements: int = 1):
+        """Generator: run *operation* on the dedicated *admin* connection.
+
+        Maintenance work — the elastic fabric's shard migrations — runs on
+        its own database connection, so it pays the engine's full statement
+        costs but serialises only against other admin statements, never
+        behind the request path's queue (a migration must make progress on
+        an overloaded shard; that is exactly when it is needed).  The
+        single admin connection is opened lazily, once.
+        """
+        if statements <= 0:
+            raise ValueError("statements must be positive")
+        start = self.env.now
+        with self._admin_executor.request() as req:
+            yield req
+            if not self._admin_connected:
+                self._admin_connected = True
+                yield self.env.timeout(self.engine.connection_cost_s)
+            yield self.env.timeout(self.engine.operation_cost_s * statements)
+            result = operation()
         self.operations += 1
         self.busy_time_s += self.env.now - start
         return result

@@ -45,6 +45,20 @@ def reset_auid_counter() -> None:
     _auid_counter = itertools.count(1)
 
 
+def auid_counter_state() -> int:
+    """The next value the counter would issue (without consuming it)."""
+    global _auid_counter
+    value = next(_auid_counter)
+    _auid_counter = itertools.count(value)
+    return value
+
+
+def set_auid_counter(value: int) -> None:
+    """Rewind/advance the counter so *value* is issued next."""
+    global _auid_counter
+    _auid_counter = itertools.count(value)
+
+
 class PersistenceManager:
     """Maps objects with a ``uid`` attribute to database collections."""
 

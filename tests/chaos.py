@@ -1,0 +1,194 @@
+"""Reusable fault-injection and invariant-checking harness for the fabric.
+
+The elastic-fabric claims — "no request is lost, none is double-applied,
+no key is left behind" — are global invariants over the catalog and
+scheduler shards, not properties of any single call.  This module gives
+the chaos tests one vocabulary for proving them:
+
+* :class:`RequestLedger` — a linear ledger of every client request a test
+  issues.  Each request is ``begin``-ed before its first RPC and either
+  ``complete``-d (with what the client believes it accomplished) or
+  ``fail``-ed (the client saw an error — allowed, but then the ledger does
+  not demand the effect).  Verification replays the ledger against the raw
+  shard state, bypassing the router: a *completed* effect must exist
+  exactly once across ALL shards, whatever migrations happened since.
+
+* :class:`ChaosHarness` — fault injection synchronised with the migration
+  protocol.  ``crash_on_phase`` returns an ``on_phase`` callback for the
+  :class:`~repro.services.rebalance.RebalanceCoordinator` that kills a
+  chosen service host the instant a chosen phase begins (the worst
+  moments: mid-copy, right at the seal, during the source drops), with an
+  optional scheduled recovery.  ``verify`` audits the invariants and
+  returns human-readable violations; ``assert_ok`` raises on any.
+
+The harness is deliberately dependency-free (stdlib only) so the CI smoke
+jobs and the property suite can both drive it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["ChaosHarness", "RequestLedger"]
+
+
+class RequestLedger:
+    """A linear record of every client request issued by a test."""
+
+    def __init__(self):
+        self.records: List[Dict[str, object]] = []
+        self._next_rid = 0
+
+    def begin(self, kind: str, key: str, value: Optional[str] = None) -> dict:
+        """Open a ledger record before the request's first RPC."""
+        record = {"rid": self._next_rid, "kind": kind, "key": key,
+                  "value": value, "status": "pending"}
+        self._next_rid += 1
+        self.records.append(record)
+        return record
+
+    @staticmethod
+    def complete(record: dict) -> None:
+        record["status"] = "completed"
+
+    @staticmethod
+    def fail(record: dict) -> None:
+        record["status"] = "failed"
+
+    def by_status(self, status: str) -> List[dict]:
+        return [r for r in self.records if r["status"] == status]
+
+    @property
+    def completed(self) -> List[dict]:
+        return self.by_status("completed")
+
+    @property
+    def pending(self) -> List[dict]:
+        return self.by_status("pending")
+
+    @property
+    def failed(self) -> List[dict]:
+        return self.by_status("failed")
+
+
+class ChaosHarness:
+    """Crash service hosts at migration phase boundaries; audit invariants."""
+
+    def __init__(self, runtime, ledger: Optional[RequestLedger] = None):
+        self.runtime = runtime
+        self.env = runtime.env
+        self.fabric = runtime.fabric
+        self.ledger = ledger if ledger is not None else RequestLedger()
+        #: (phase, host name, time) per injected crash
+        self.crashes: List[tuple] = []
+        #: phases observed, in order (the protocol's audit trail)
+        self.phases: List[tuple] = []
+
+    # ------------------------------------------------------------------ faults
+    def crash_on_phase(self, phase: str, host, recover_after_s: float = 6.0,
+                       chain=None):
+        """An ``on_phase`` callback crashing *host* when *phase* begins.
+
+        The crash lands synchronously inside the coordinator's phase
+        transition — before the phase's first RPC — which is the worst
+        instant for it: every in-flight client call and every coordinator
+        copy targeting the host must fail over.  With ``recover_after_s``
+        the host comes back (its heartbeats resume and routing returns);
+        pass ``None`` to leave it dead.  ``chain`` composes another
+        ``on_phase`` callback (observed before the crash).
+        """
+        def on_phase(name, migration):
+            self.phases.append((name, self.env.now))
+            if chain is not None:
+                chain(name, migration)
+            if name == phase and host.online:
+                self.crashes.append((name, host.name, self.env.now))
+                self.runtime.crash_service_host(host)
+                if recover_after_s is not None:
+                    self.env.process(self._recover_later(host,
+                                                         recover_after_s))
+        return on_phase
+
+    def observe_phases(self):
+        """An ``on_phase`` callback that only records the protocol trail."""
+        def on_phase(name, migration):
+            self.phases.append((name, self.env.now))
+        return on_phase
+
+    def _recover_later(self, host, delay_s: float):
+        yield self.env.timeout(delay_s)
+        if not host.online:
+            self.runtime.recover_service_host(host)
+
+    # ------------------------------------------------------------------ audit
+    def verify(self) -> List[str]:
+        """Audit the ledger and the global shard invariants; return violations.
+
+        Raw-scans every shard (no router, no RPC cost), so the audit sees
+        exactly what migrations left behind:
+
+        * a completed ``publish`` record's (key, value) exists on exactly
+          one catalog shard, exactly once;
+        * a completed ``pin`` record's host owns the uid on the scheduler;
+        * every scheduler uid is managed by exactly one shard;
+        * no ledger record is still pending (the test must resolve every
+          request it began — lost-in-flight requests are the bug chaos
+          testing exists to catch).
+        """
+        violations: List[str] = []
+        fabric = self.fabric
+
+        for record in self.ledger.completed:
+            kind, key, value = record["kind"], record["key"], record["value"]
+            if kind == "publish":
+                holders = []
+                copies = 0
+                for index, shard in enumerate(fabric.catalog_shards):
+                    values = shard.lookup_pair_now(key)
+                    if values:
+                        holders.append(index)
+                        copies += sum(1 for v in values if v == value)
+                if copies == 0:
+                    violations.append(
+                        f"lost: completed publish {key!r}={value!r} "
+                        f"not found on any catalog shard")
+                elif len(holders) > 1:
+                    violations.append(
+                        f"duplicated: key {key!r} lives on catalog shards "
+                        f"{holders}")
+                elif copies > 1:
+                    violations.append(
+                        f"duplicated: value {value!r} appears {copies} "
+                        f"times under key {key!r}")
+            elif kind == "pin":
+                owners = set()
+                for shard in fabric.scheduler_shards:
+                    entry = shard.entry(key)
+                    if entry is not None:
+                        owners.update(entry.owners)
+                if value not in owners:
+                    violations.append(
+                        f"lost: completed pin of {key!r} on {value!r} "
+                        f"but owners are {sorted(owners)}")
+
+        managed: Dict[str, List[int]] = {}
+        for index, shard in enumerate(fabric.scheduler_shards):
+            for uid in shard.migration_keys():
+                managed.setdefault(uid, []).append(index)
+        for uid, shards in sorted(managed.items()):
+            if len(shards) > 1:
+                violations.append(
+                    f"duplicated: scheduler uid {uid!r} managed by shards "
+                    f"{shards}")
+
+        pending = self.ledger.pending
+        if pending:
+            violations.append(
+                f"{len(pending)} ledger records still pending "
+                f"(first: {pending[0]})")
+        return violations
+
+    def assert_ok(self) -> None:
+        violations = self.verify()
+        assert not violations, "chaos invariants violated:\n" + "\n".join(
+            f"  - {v}" for v in violations)

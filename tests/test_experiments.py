@@ -224,6 +224,24 @@ class TestRunner:
         second = run_spec(ScenarioSpec("fig4", dict(params)))
         assert first.to_json() == second.to_json()
 
+    def test_run_spec_isolates_process_state(self):
+        """The Nth run in a process equals a fresh-process run.
+
+        AUIDs come from a process-wide counter; run_spec resets it, so a
+        scenario whose results depend on uid hash placement (the elastic
+        ring moves whichever keys change owner) is byte-identical whether
+        it runs first, after other scenarios in a serial sweep, or in a
+        pool worker.  The burned uids below simulate a prior run's drift.
+        """
+        from repro.storage.persistence import new_auid
+        params = {"n_hosts": 3, "n_data": 8, "run_for_s": 4.0,
+                  "split_at": 1.0, "merge_at": 2.5}
+        first = run_spec(ScenarioSpec("fabric-rebalance", dict(params)))
+        for _ in range(997):
+            new_auid("drift")
+        second = run_spec(ScenarioSpec("fabric-rebalance", dict(params)))
+        assert first.to_json() == second.to_json()
+
     def test_different_seed_different_results(self):
         base = {"n_initial": 3, "n_spare": 2, "replica": 3, "size_mb": 1.0,
                 "settle_s": 30.0, "horizon_s": 90.0}

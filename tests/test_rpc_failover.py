@@ -84,6 +84,56 @@ class TestInvokeFailureSemantics:
         env.run(until=env.timeout(1.0))
         assert service.calls == 1          # the method itself did run
 
+    def test_crash_between_marshalling_and_dispatch_is_retryable(self):
+        """The host dies while the request is in transit — after the
+        marshalling latency started being charged but before the method is
+        dispatched.  The method never ran, so this must be a *plain*
+        retryable RpcError (not a lost response) and failover must succeed
+        against a replica without duplicating any effect."""
+        env = Environment()
+        host = Host("svc-1", stable=True)
+        service = _Service(env)
+        endpoint = RpcEndpoint(service, host=host, name="DataCatalog",
+                               shard="dc-2")
+        replica_host = Host("svc-2", stable=True)
+        replica = RpcEndpoint(service, host=replica_host, name="DataCatalog",
+                              shard="dc-2")
+        channel = RpcChannel(env, ChannelKind.RMI_REMOTE)
+        # Fail the host mid-flight: after the request latency yield began
+        # (cost/2 ≈ 124 µs for 1 KB over RMI remote) but before dispatch.
+        half_request = channel.call_cost(1.0) / 2.0
+
+        def assassin():
+            yield env.timeout(half_request / 2.0)
+            host.fail()
+        env.process(assassin())
+
+        def caller():
+            with pytest.raises(RpcError) as err:
+                yield from channel.invoke(endpoint, "ping", 9)
+            assert not isinstance(err.value, RpcResponseLostError)
+            assert "went offline before dispatch" in str(err.value)
+            assert "DataCatalog[dc-2].ping" in str(err.value)
+        env.process(caller())
+        env.run(until=env.timeout(1.0))
+        assert service.calls == 0           # the method never ran
+
+        # And through the failover path: the attempt is retried (it is not
+        # at-most-once-fatal) and the replica serves the call exactly once.
+        resolutions = []
+
+        def resolve():
+            resolutions.append(env.now)
+            return endpoint if len(resolutions) == 1 else replica
+
+        value = _run(env, channel.invoke_failover(
+            resolve, "ping", 9,
+            policy=FailoverPolicy(max_attempts=4, backoff_s=0.1)))
+        assert value == ("pong", 9)
+        assert service.calls == 1
+        assert channel.failover_attempts == 1
+        assert channel.lost_requests == 0
+
     def test_label_without_shard_is_unchanged(self):
         endpoint = RpcEndpoint(object(), name="DataCatalog")
         assert endpoint.label() == "DataCatalog"
