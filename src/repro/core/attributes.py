@@ -18,6 +18,14 @@ Five attributes drive the runtime:
 ``protocol``
     Preferred out-of-band transfer protocol (``ftp``, ``http``,
     ``bittorrent``).
+``visibility``
+    Cross-domain exposure under a federated deployment
+    (:mod:`repro.federation`): ``public`` data may be listed, fetched and
+    replicated across admitting domains; ``unlisted`` data is fetchable by
+    explicit reference but never listed in federated searches nor exported
+    by scheduled replication; ``private`` data never leaves its home
+    domain.  Single-domain deployments ignore the field (everything is
+    effectively local).
 
 The textual grammar accepted by :func:`parse_attribute` follows the paper's
 listings::
@@ -30,7 +38,7 @@ Key aliases (all used across the paper's listings) are normalised:
 ``replica``/``replicat``/``replication``; ``oob``/``protocol``;
 ``ft``/``faulttolerance``/``fault_tolerance``; ``abstime``/``absolute_lifetime``;
 ``lifetime``/``reltime`` (relative lifetime, referencing another datum or
-attribute name).
+attribute name); ``visibility``/``vis`` (federation exposure).
 """
 
 from __future__ import annotations
@@ -41,10 +49,14 @@ from typing import Dict, Optional, Union
 
 from repro.storage.persistence import new_auid
 
-__all__ = ["Attribute", "AttributeError_", "parse_attribute", "DEFAULT_ATTRIBUTE"]
+__all__ = ["Attribute", "AttributeError_", "parse_attribute", "DEFAULT_ATTRIBUTE",
+           "VISIBILITIES"]
 
 #: ``replica = -1`` means "replicate to every node in the network".
 REPLICATE_TO_ALL = -1
+
+#: Federation visibility levels, least to most restrictive.
+VISIBILITIES = ("public", "unlisted", "private")
 
 
 class AttributeError_(ValueError):
@@ -68,6 +80,8 @@ class Attribute:
     #: name or uid of the datum this datum must be co-located with
     affinity: Optional[str] = None
     protocol: str = "http"
+    #: cross-domain exposure under federation: public | unlisted | private
+    visibility: str = "public"
     uid: str = field(default_factory=lambda: new_auid("attribute"))
 
     def __post_init__(self):
@@ -79,6 +93,10 @@ class Attribute:
             raise AttributeError_("absolute_lifetime must be positive")
         if not self.protocol:
             raise AttributeError_("protocol must be a non-empty string")
+        if self.visibility not in VISIBILITIES:
+            raise AttributeError_(
+                f"visibility must be one of {VISIBILITIES} "
+                f"(got {self.visibility!r})")
 
     # -- semantics helpers ---------------------------------------------------
     @property
@@ -113,6 +131,8 @@ class Attribute:
             parts.append(f"lifetime={self.relative_lifetime}")
         if self.affinity is not None:
             parts.append(f"affinity={self.affinity}")
+        if self.visibility != "public":
+            parts.append(f"visibility={self.visibility}")
         parts.append(f"oob={self.protocol}")
         return f"attr {self.name} = {{{', '.join(parts)}}}"
 
@@ -149,6 +169,8 @@ _KEY_ALIASES = {
     "affinity": "affinity",
     "oob": "protocol",
     "protocol": "protocol",
+    "visibility": "visibility",
+    "vis": "visibility",
 }
 
 
@@ -217,6 +239,8 @@ def parse_attribute(definition: str) -> Attribute:
                 raise AttributeError_(
                     f"absolute lifetime must be a number of seconds (got {value!r})")
         elif key == "protocol":
+            fields[key] = value.lower()
+        elif key == "visibility":
             fields[key] = value.lower()
         else:  # affinity, relative_lifetime: keep the reference as written
             fields[key] = value

@@ -449,12 +449,18 @@ class BitDewEnvironment:
         host_sweep_period_s: float = 0.25,
         ring_vnodes: int = 16,
         ring_seed: int = 0,
+        domain: Optional[str] = None,
     ):
         self.topology = topology
         self.env: Environment = topology.env
         self.network: Network = topology.network
         self.sync_period_s = float(sync_period_s)
         self.rng = RandomStreams(seed)
+        #: administrative-domain id under a federated deployment (see
+        #: :mod:`repro.federation`); qualifies endpoint labels so channels
+        #: from different domains never alias.  None = classic single
+        #: domain, byte-identical labels.
+        self.domain = domain
         # -- deployment spec ------------------------------------------------
         # ``service_hosts=N, shards=S, service_replicas=k`` deploys the D*
         # services as a fabric over the topology's first N stable service
@@ -485,6 +491,7 @@ class BitDewEnvironment:
                 failover_policy=failover_policy,
                 ring_vnodes=ring_vnodes,
                 ring_seed=ring_seed,
+                domain=domain,
             )
             self.container = self.fabric
             self.router = FabricRouter(self.fabric)
@@ -499,6 +506,7 @@ class BitDewEnvironment:
                 monitor_period_s=monitor_period_s,
                 max_data_schedule=max_data_schedule,
                 account_monitor_bandwidth=account_monitor_bandwidth,
+                domain=domain,
             )
             self.router = StaticRouter(self.container.endpoints())
         self.container.start()

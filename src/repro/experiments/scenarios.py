@@ -20,6 +20,9 @@ from repro.experiments.registry import ScenarioRegistry
 from repro.bench.blast import _run_blast_once, _run_fig5, _run_fig6
 from repro.bench.elastic import _run_fabric_autoscale, _run_fabric_rebalance
 from repro.bench.fabric import _run_fabric_failover, _run_fabric_scale
+from repro.bench.federation import (_run_federation_flash_crowd,
+                                    _run_federation_partition_heal,
+                                    _run_federation_sovereignty)
 from repro.bench.fault import _run_fig4
 from repro.bench.micro import (
     _run_table2,
@@ -155,6 +158,21 @@ def build_registry() -> ScenarioRegistry:
         title="SLO-driven autoscaler on a diurnal trace: fixed vs elastic shards",
         paper_ref="beyond the paper (service architecture, §3.1/§3.4)",
         group="scale", tags=("bench", "fabric"))
+    registry.register(
+        "federation-flash-crowd", _run_federation_flash_crowd,
+        title="Cross-domain flash crowd: WAN replication vs per-worker fetches",
+        paper_ref="beyond the paper (multi-cluster deployments, §5; BENCH trajectory)",
+        group="scale", tags=("bench", "federation"))
+    registry.register(
+        "federation-partition-heal", _run_federation_partition_heal,
+        title="WAN partition mid-replication: exactly-once catch-up after healing",
+        paper_ref="beyond the paper (fault tolerance, §3.5)",
+        group="scale", tags=("bench", "federation", "churn"))
+    registry.register(
+        "federation-sovereignty", _run_federation_sovereignty,
+        title="Trust allowlists + visibility: policy-constrained placement",
+        paper_ref="beyond the paper (data attributes, §3.2)",
+        group="scale", tags=("bench", "federation"))
     registry.register(
         "sweep-parallel", _run_sweep_parallel,
         title="Sweep executor throughput: serial vs process pool vs cache",

@@ -1,0 +1,43 @@
+"""Federated multi-fabric BitDew: WAN-peered sovereign domains.
+
+The paper promises data management for desktop grids that span
+administrative boundaries; this package supplies the missing layer.
+Several complete BitDew environments — each with its own LAN topology and
+(optionally sharded) service fabric — peer across WAN gateways:
+
+* :mod:`repro.federation.policy` — pure trust/visibility policy
+  (``open``/``allowlist`` trust, ``public``/``unlisted``/``private``
+  visibility), the single source of admissibility truth;
+* :mod:`repro.federation.gateway` — :class:`WanLink` (shared-capacity,
+  partitionable WAN pipes) and :class:`FederationGateway` (scatter-gather
+  federated search, explicit fetch, idempotent replica import — policy
+  enforced on the serving side, never client-side);
+* :mod:`repro.federation.replication` — :class:`FederationReplicator`,
+  scheduled sovereignty-aware exports driven by the Data Scheduler's
+  replica-deficit machinery;
+* :mod:`repro.federation.deployment` — :class:`DomainSpec`,
+  :class:`FederationDomain` and :class:`Federation`, the builder that
+  turns declarative domain specs into one peered simulation.
+"""
+
+from repro.federation.deployment import DomainSpec, Federation, FederationDomain
+from repro.federation.gateway import FederationGateway, WanLink
+from repro.federation.policy import (PRIVATE, PUBLIC, UNLISTED, TrustPolicy,
+                                     may_export, may_fetch, may_list)
+from repro.federation.replication import FederationReplicator
+
+__all__ = [
+    "DomainSpec",
+    "Federation",
+    "FederationDomain",
+    "FederationGateway",
+    "FederationReplicator",
+    "TrustPolicy",
+    "WanLink",
+    "PUBLIC",
+    "UNLISTED",
+    "PRIVATE",
+    "may_export",
+    "may_fetch",
+    "may_list",
+]

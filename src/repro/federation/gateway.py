@@ -1,0 +1,347 @@
+"""WAN links and the per-domain federation gateway.
+
+Every federated domain runs one :class:`FederationGateway` on its primary
+service host.  Gateways of peered domains are connected by a
+:class:`WanLink` — the wide-area counterpart of the LAN links inside a
+``cluster_topology``: high latency, narrow shared bandwidth, and the only
+thing a partition severs.  All inter-domain traffic is gateway-to-gateway
+RPC over that link; volatile hosts never talk across domains directly.
+
+Policy enforcement lives on the **serving** side: ``search``, ``fetch``,
+``offer`` and ``import_datum`` are executed by the *callee* gateway, which
+applies its own domain's :class:`~repro.federation.policy.TrustPolicy` and
+the datum's visibility through the pure :mod:`repro.federation.policy`
+functions.  A malicious or buggy caller cannot bypass the checks, because
+nothing on the calling side is trusted — exactly the openintent Federation
+rule ("enforced at the router, never client-side").
+
+Gateways only ever serve data *homed* in their own domain.  An imported
+replica is never re-served or re-exported: transitive re-export would let
+domain B leak domain A's data to a peer A itself denies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.federation.policy import PUBLIC, TrustPolicy, may_fetch, may_list
+from repro.net.rpc import ChannelKind, RpcChannel, RpcEndpoint, RpcError
+from repro.sim.resources import Resource
+
+__all__ = ["WanLink", "FederationGateway"]
+
+
+class WanLink:
+    """A symmetric wide-area link between two domains' gateways.
+
+    ``bandwidth_mbps`` (MB/s, matching the topology modules' convention) is
+    a *shared* capacity: bulk payloads serialise through a capacity-1 pipe,
+    so ten concurrent cross-domain fetches take ten transfer times — the
+    WAN bottleneck the federated replication exists to amortise.  Control
+    RPCs (small payloads) only pay the round-trip latency.
+
+    :meth:`sever` / :meth:`heal` model a WAN partition: while severed,
+    every gateway call over the link raises :class:`RpcError` — including
+    calls already in flight (their response is lost).
+    """
+
+    def __init__(self, env, domain_a: str, domain_b: str,
+                 latency_s: float = 0.05, bandwidth_mbps: float = 12.0):
+        if latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+        self.env = env
+        self.domains = tuple(sorted((domain_a, domain_b)))
+        self.latency_s = float(latency_s)
+        self.bandwidth_mbps = float(bandwidth_mbps)
+        self.up = True
+        self.partitions = 0
+        #: (event, time) audit trail: ("sever"|"heal", t)
+        self.events: List[tuple] = []
+        #: bulk payloads serialise through this pipe (capacity 1)
+        self._pipe = Resource(env, capacity=1)
+        self.kb_transferred = 0.0
+
+    @property
+    def per_kb_s(self) -> float:
+        """Seconds to push one KB through the link at full bandwidth."""
+        return 1.0 / (self.bandwidth_mbps * 1024.0)
+
+    def name(self) -> str:
+        return f"{self.domains[0]}<->{self.domains[1]}"
+
+    def sever(self) -> None:
+        """Partition the WAN: both directions go dark immediately."""
+        if self.up:
+            self.up = False
+            self.partitions += 1
+            self.events.append(("sever", self.env.now))
+
+    def heal(self) -> None:
+        if not self.up:
+            self.up = True
+            self.events.append(("heal", self.env.now))
+
+    def check(self, context: str) -> None:
+        if not self.up:
+            raise RpcError(f"WAN link {self.name()} is partitioned ({context})")
+
+    def occupy(self, kb: float):
+        """Generator: stream *kb* of bulk payload through the shared pipe."""
+        request = self._pipe.request()
+        yield request
+        try:
+            self.check("before bulk transfer")
+            yield self.env.timeout(kb * self.per_kb_s)
+            # A partition that lands mid-stream kills the transfer: the
+            # bytes spent are lost and the caller sees a plain RpcError
+            # (safe to retry — imports are idempotent).
+            self.check("mid bulk transfer")
+            self.kb_transferred += kb
+        finally:
+            self._pipe.release(request)
+
+
+class FederationGateway:
+    """One domain's WAN-facing router: peering, policy, scatter-gather.
+
+    The server-side surface (what peers invoke over the WAN channel):
+
+    * ``search(caller, name)`` — policy-filtered catalog rows homed here;
+    * ``fetch(caller, uid)`` — a datum's descriptor + content, if
+      :func:`~repro.federation.policy.may_fetch` admits the caller;
+    * ``offer(caller, descriptor)`` — replication admission probe;
+    * ``import_datum(caller, descriptor, attribute, content)`` —
+      idempotent replica install (the receiving half of scheduled
+      replication).
+
+    The client-side surface (what the local domain calls):
+
+    * ``federated_search(name)`` — scatter-gather over every linked peer,
+      merged with the local (home) view;
+    * ``fetch_remote(peer, uid, size_mb)`` — explicit cross-domain fetch;
+    * ``call_peer(...)`` — the raw WAN invocation primitive the
+      replicator builds on.
+    """
+
+    def __init__(self, domain):
+        self.domain = domain
+        self.env = domain.env
+        self.trust: TrustPolicy = domain.trust
+        self.peers: Dict[str, "FederationGateway"] = {}
+        self.links: Dict[str, WanLink] = {}
+        self.channels: Dict[str, RpcChannel] = {}
+        self.endpoint = RpcEndpoint(
+            self, host=domain.runtime.container.host,
+            name="FederationGateway", domain=domain.name)
+        # -- serving-side counters (policy audit trail) ---------------------
+        self.searches_served = 0
+        self.searches_denied = 0
+        self.fetches_served = 0
+        self.fetches_denied = 0
+        self.imports_accepted = 0
+        self.imports_duplicate = 0
+        self.imports_rejected = 0
+        # -- calling-side counters ------------------------------------------
+        self.wan_calls = 0
+        self.wan_failures = 0
+        self.peers_unreachable = 0
+
+    # ------------------------------------------------------------------ peering
+    def connect(self, peer: "FederationGateway", link: WanLink) -> None:
+        """Register *peer* behind *link* (called for both directions)."""
+        name = peer.domain.name
+        self.peers[name] = peer
+        self.links[name] = link
+        self.channels[name] = RpcChannel(
+            self.env, ChannelKind.RMI_REMOTE,
+            round_trip_s=2.0 * link.latency_s,
+            per_kb_s=link.per_kb_s)
+
+    def peer_names(self) -> List[str]:
+        return sorted(self.peers)
+
+    # ------------------------------------------------------------------ client side
+    def call_peer(self, peer_name: str, method: str, *args,
+                  payload_kb: float = 1.0, bulk_kb: float = 0.0):
+        """Generator: one WAN RPC to *peer_name*'s gateway.
+
+        ``payload_kb`` is the marshalled control payload (charged on the
+        WAN channel); ``bulk_kb`` is streamed through the link's shared
+        pipe first, so concurrent bulk transfers serialise.  Raises
+        :class:`RpcError` whenever the link is (or becomes) partitioned.
+        """
+        if peer_name not in self.peers:
+            raise RpcError(f"domain {self.domain.name} has no peering "
+                           f"with {peer_name}")
+        link = self.links[peer_name]
+        self.wan_calls += 1
+        try:
+            link.check("before call")
+            if bulk_kb > 0.0:
+                yield from link.occupy(bulk_kb)
+            result = yield from self.channels[peer_name].invoke(
+                self.peers[peer_name].endpoint, method,
+                self.domain.name, *args, payload_kb=payload_kb)
+            link.check("awaiting response")
+        except RpcError:
+            self.wan_failures += 1
+            raise
+        return result
+
+    def _local_rows(self, name: Optional[str]) -> List[dict]:
+        rows = []
+        for data in self.domain.home_data():
+            if name is not None and data.name != name:
+                continue
+            rows.append(self._descriptor(data))
+        rows.sort(key=lambda row: row["uid"])
+        return rows
+
+    def _descriptor(self, data) -> dict:
+        return {
+            "uid": data.uid,
+            "name": data.name,
+            "size_mb": data.size_mb,
+            "visibility": self.domain.visibility_of(data.uid),
+            "home": self.domain.name,
+        }
+
+    def federated_search(self, name: Optional[str] = None):
+        """Generator: scatter-gather catalog search across admitting peers.
+
+        Returns ``(rows, unreachable)``: the merged, policy-admissible
+        descriptors (local home view first — the home domain sees all its
+        own data regardless of visibility) and the peers that could not be
+        reached (partitioned links are a fact of WAN life, not an error).
+        """
+        merged: Dict[str, dict] = {}
+        for row in self._local_rows(name):
+            merged[row["uid"]] = row
+        buckets: Dict[str, Optional[List[dict]]] = {}
+
+        def ask(peer_name: str):
+            try:
+                rows = yield from self.call_peer(peer_name, "search", name,
+                                                 payload_kb=0.5)
+                buckets[peer_name] = rows
+            except RpcError:
+                buckets[peer_name] = None
+
+        procs = [self.env.process(ask(peer)) for peer in self.peer_names()]
+        if procs:
+            yield self.env.all_of(procs)
+        unreachable = []
+        for peer in self.peer_names():
+            rows = buckets[peer]
+            if rows is None:
+                self.peers_unreachable += 1
+                unreachable.append(peer)
+                continue
+            for row in rows:
+                merged.setdefault(row["uid"], row)
+        ordered = sorted(merged.values(),
+                         key=lambda row: (row["home"], row["uid"]))
+        return ordered, unreachable
+
+    def fetch_remote(self, peer_name: str, uid: str, size_mb: float = 0.0):
+        """Generator: explicit cross-domain fetch of one datum's content.
+
+        The peer's gateway enforces :func:`may_fetch`; a denial surfaces as
+        ``None`` (policy verdicts are data, not transport errors)."""
+        bulk_kb = max(0.0, size_mb) * 1024.0
+        reply = yield from self.call_peer(peer_name, "fetch", uid,
+                                          payload_kb=1.0, bulk_kb=bulk_kb)
+        return reply
+
+    # ------------------------------------------------------------------ server side
+    def search(self, caller_domain: str, name: Optional[str] = None):
+        """Serve a federated search: only home data the policy admits."""
+        if (caller_domain != self.domain.name
+                and not self.trust.admits(caller_domain)):
+            self.searches_denied += 1
+            return []
+        self.searches_served += 1
+        rows = []
+        for row in self._local_rows(name):
+            if may_list(row["visibility"], caller_domain, self.domain.name,
+                        self.trust):
+                rows.append(row)
+        return rows
+
+    def fetch(self, caller_domain: str, uid: str):
+        """Serve an explicit fetch: descriptor + content, or ``None``."""
+        data = self.domain.home_datum(uid)
+        if data is None:
+            self.fetches_denied += 1
+            return None
+        visibility = self.domain.visibility_of(uid)
+        if not may_fetch(visibility, caller_domain, self.domain.name,
+                         self.trust):
+            self.fetches_denied += 1
+            return None
+        self.fetches_served += 1
+        return {
+            "descriptor": self._descriptor(data),
+            "attribute": self.domain.attribute_of(uid),
+            "content": self.domain.content_of(uid),
+        }
+
+    def offer(self, caller_domain: str, descriptor: dict) -> str:
+        """Replication admission probe (the cheap half of the handshake).
+
+        ``"accept"`` — send the copy; ``"have"`` — already installed
+        (idempotent re-offer after a partition); ``"deny"`` — the policy
+        does not admit this import (wrong trust, non-public visibility, or
+        a caller lying about the datum's home)."""
+        if not self.trust.admits(caller_domain):
+            self.imports_rejected += 1
+            return "deny"
+        if descriptor.get("home") != caller_domain:
+            # Only the home domain may push its data: no transitive export.
+            self.imports_rejected += 1
+            return "deny"
+        if descriptor.get("visibility") != PUBLIC:
+            self.imports_rejected += 1
+            return "deny"
+        if self.domain.knows(descriptor["uid"]):
+            return "have"
+        return "accept"
+
+    def import_datum(self, caller_domain: str, descriptor: dict,
+                     attribute, content) -> str:
+        """Install one replicated datum (idempotent; re-applies the checks).
+
+        The offer/import split exists so a partition can land between the
+        two — the import re-validates everything the offer did, because by
+        then the world may have changed."""
+        verdict = self.offer(caller_domain, descriptor)
+        if verdict == "deny":
+            return "deny"
+        if verdict == "have":
+            self.imports_duplicate += 1
+            return "have"
+        self.domain.install_replica(descriptor, attribute, content,
+                                    home=caller_domain)
+        self.imports_accepted += 1
+        return "accepted"
+
+    # ------------------------------------------------------------------ report
+    def stats(self) -> dict:
+        return {
+            "searches_served": self.searches_served,
+            "searches_denied": self.searches_denied,
+            "fetches_served": self.fetches_served,
+            "fetches_denied": self.fetches_denied,
+            "imports_accepted": self.imports_accepted,
+            "imports_duplicate": self.imports_duplicate,
+            "imports_rejected": self.imports_rejected,
+            "wan_calls": self.wan_calls,
+            "wan_failures": self.wan_failures,
+            "peers_unreachable": self.peers_unreachable,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FederationGateway({self.domain.name}, "
+                f"peers={self.peer_names()})")

@@ -84,12 +84,21 @@ class RpcEndpoint:
     ``shard`` names the fabric shard this endpoint belongs to (e.g.
     ``"ds-2"``); it is included in :meth:`label` so a multi-shard
     :class:`RpcError` identifies which shard of which service failed.
+
+    ``domain`` names the administrative domain (federation) the endpoint
+    serves.  Shard names and host ids are only unique *within* one domain —
+    two federated domains both have a ``dc-0`` — so the domain qualifies
+    the label; otherwise a :class:`~repro.services.autoscaler.HotspotMonitor`
+    spanning channels from several domains would alias their per-label
+    deltas onto one counter.  ``domain=None`` (every single-domain
+    deployment) keeps the historical labels byte-identical.
     """
 
     service: Any
     host: Any = None
     name: Optional[str] = None
     shard: Optional[str] = None
+    domain: Optional[str] = None
 
     def label(self) -> str:
         # Memoized: endpoints are long-lived and their fields never change
@@ -97,7 +106,14 @@ class RpcEndpoint:
         cached = self.__dict__.get("_label")
         if cached is None:
             base = self.name if self.name else type(self.service).__name__
-            cached = f"{base}[{self.shard}]" if self.shard is not None else base
+            if self.domain is not None:
+                qualifier = (f"{self.domain}/{self.shard}"
+                             if self.shard is not None else self.domain)
+                cached = f"{base}[{qualifier}]"
+            elif self.shard is not None:
+                cached = f"{base}[{self.shard}]"
+            else:
+                cached = base
             self.__dict__["_label"] = cached
         return cached
 

@@ -53,12 +53,16 @@ class ServiceContainer:
         monitor_period_s: float = 0.5,
         max_data_schedule: int = 16,
         account_monitor_bandwidth: bool = True,
+        domain: Optional[str] = None,
     ):
         if not host.stable:
             raise ValueError("the service container must run on a stable host")
         self.env = env
         self.host = host
         self.network = network
+        #: administrative-domain id qualifying endpoint labels under a
+        #: federated deployment (None = classic single-domain labels)
+        self.domain = domain
 
         engine = engine if engine is not None else EmbeddedSQLEngine()
         pool = ConnectionPool(env, engine, size=pool_size) if use_connection_pool else None
@@ -99,10 +103,14 @@ class ServiceContainer:
     def endpoints(self) -> dict:
         """The four service endpoints, keyed by the paper's short names."""
         return {
-            "dc": RpcEndpoint(self.data_catalog, host=self.host, name="DataCatalog"),
-            "dr": RpcEndpoint(self.data_repository, host=self.host, name="DataRepository"),
-            "dt": RpcEndpoint(self.data_transfer, host=self.host, name="DataTransfer"),
-            "ds": RpcEndpoint(self.data_scheduler, host=self.host, name="DataScheduler"),
+            "dc": RpcEndpoint(self.data_catalog, host=self.host,
+                              name="DataCatalog", domain=self.domain),
+            "dr": RpcEndpoint(self.data_repository, host=self.host,
+                              name="DataRepository", domain=self.domain),
+            "dt": RpcEndpoint(self.data_transfer, host=self.host,
+                              name="DataTransfer", domain=self.domain),
+            "ds": RpcEndpoint(self.data_scheduler, host=self.host,
+                              name="DataScheduler", domain=self.domain),
         }
 
     def channel(self, kind: ChannelKind = ChannelKind.RMI_REMOTE) -> RpcChannel:

@@ -207,6 +207,7 @@ class ServiceFabric:
         failover_policy: Optional[FailoverPolicy] = None,
         ring_vnodes: int = 16,
         ring_seed: int = 0,
+        domain: Optional[str] = None,
     ):
         hosts = list(hosts)
         if not hosts:
@@ -228,6 +229,9 @@ class ServiceFabric:
         self.shards = shards
         self.replicas = replicas
         self.max_data_schedule = int(max_data_schedule)
+        #: administrative-domain id qualifying every endpoint label (None =
+        #: single-domain deployment, historical labels unchanged)
+        self.domain = domain
 
         engine = engine if engine is not None else EmbeddedSQLEngine()
         self.engine = engine
@@ -287,10 +291,10 @@ class ServiceFabric:
             self._build_shard(index)
         self._endpoints["dr"] = [[
             RpcEndpoint(self.data_repository, host=self.host,
-                        name="DataRepository")]]
+                        name="DataRepository", domain=domain)]]
         self._endpoints["dt"] = [[
             RpcEndpoint(self.data_transfer, host=self.host,
-                        name="DataTransfer")]]
+                        name="DataTransfer", domain=domain)]]
 
         self.data_catalog = ShardedDataCatalog(self.catalog_shards,
                                                self.dc_ring)
@@ -321,11 +325,11 @@ class ServiceFabric:
         replica_hosts = self._replica_hosts(index)
         self._endpoints["dc"].append([
             RpcEndpoint(catalog, host=h, name="DataCatalog",
-                        shard=f"dc-{index}")
+                        shard=f"dc-{index}", domain=self.domain)
             for h in replica_hosts])
         self._endpoints["ds"].append([
             RpcEndpoint(scheduler, host=h, name="DataScheduler",
-                        shard=f"ds-{index}")
+                        shard=f"ds-{index}", domain=self.domain)
             for h in replica_hosts])
 
     # ------------------------------------------------------------------ elasticity

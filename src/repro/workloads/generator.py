@@ -177,6 +177,23 @@ def diurnal_arrivals(profile: DiurnalProfile, horizon_s: float,
     return arrivals
 
 
+def flash_crowd_offsets(n: int, spread_s: float) -> List[float]:
+    """Deterministic arrival offsets for a flash crowd of *n* clients.
+
+    A golden-ratio (low-discrepancy) stagger inside ``[0, spread_s)``: the
+    crowd lands almost simultaneously but never on literally the same
+    timestamp, which is how real flash crowds hit a gateway.  Like
+    :func:`diurnal_arrivals` it uses no RNG, so scenarios replaying the
+    crowd stay byte-identical.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if spread_s < 0:
+        raise ValueError("spread_s must be non-negative")
+    phi_conjugate = (5 ** 0.5 - 1) / 2.0
+    return [spread_s * ((i * phi_conjugate) % 1.0) for i in range(n)]
+
+
 def filecule_group(
     group_name: str,
     n_files: int,

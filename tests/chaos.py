@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-__all__ = ["ChaosHarness", "RequestLedger"]
+__all__ = ["ChaosHarness", "FederationChaosHarness", "RequestLedger"]
 
 
 class RequestLedger:
@@ -191,4 +191,139 @@ class ChaosHarness:
     def assert_ok(self) -> None:
         violations = self.verify()
         assert not violations, "chaos invariants violated:\n" + "\n".join(
+            f"  - {v}" for v in violations)
+
+
+class FederationChaosHarness:
+    """WAN faults at replication phase boundaries; sovereignty audit.
+
+    The federated counterpart of :class:`ChaosHarness`: instead of crashing
+    service hosts inside one fabric, it severs the WAN link between two
+    domains — optionally synchronised with the
+    :class:`~repro.federation.replication.FederationReplicator` protocol via
+    ``partition_on_phase`` (scan/offer/copy/commit, mirroring the rebalance
+    coordinator's hook).  ``verify`` replays a ledger of intended exports
+    against the raw per-domain state and runs the sovereignty audit: no
+    export lost, none double-installed, and nothing non-``public`` observed
+    outside its home domain.
+    """
+
+    def __init__(self, federation, ledger: Optional[RequestLedger] = None):
+        self.federation = federation
+        self.env = federation.env
+        self.ledger = ledger if ledger is not None else RequestLedger()
+        #: ("sever"|"heal", domain_a, domain_b, time) per injected WAN fault
+        self.faults: List[tuple] = []
+        #: replication phases observed, in order
+        self.phases: List[tuple] = []
+
+    # ------------------------------------------------------------------ faults
+    def partition(self, domain_a: str, domain_b: str) -> None:
+        """Sever the WAN link between two domains (both directions)."""
+        self.faults.append(("sever", domain_a, domain_b, self.env.now))
+        self.federation.partition(domain_a, domain_b)
+
+    def heal(self, domain_a: str, domain_b: str) -> None:
+        self.faults.append(("heal", domain_a, domain_b, self.env.now))
+        self.federation.heal(domain_a, domain_b)
+
+    def partition_on_phase(self, phase: str, domain_a: str, domain_b: str,
+                           heal_after_s: Optional[float] = 6.0, chain=None):
+        """An ``on_phase`` callback severing the WAN when *phase* begins.
+
+        Fires once, synchronously inside the replicator's phase transition
+        — before the phase's first WAN call — so every in-flight offer,
+        bulk copy and import of that round sees the partition.  With
+        ``heal_after_s`` the link heals later and the replicator's periodic
+        replanning must catch up exactly-once; pass ``None`` to leave the
+        federation split.  ``chain`` composes another callback.
+        """
+        fired = [False]
+
+        def on_phase(name, replicator):
+            self.phases.append((name, self.env.now))
+            if chain is not None:
+                chain(name, replicator)
+            if name == phase and not fired[0]:
+                fired[0] = True
+                self.partition(domain_a, domain_b)
+                if heal_after_s is not None:
+                    self.env.process(
+                        self._heal_later(domain_a, domain_b, heal_after_s))
+        return on_phase
+
+    def observe_phases(self):
+        """An ``on_phase`` callback that only records the protocol trail."""
+        def on_phase(name, replicator):
+            self.phases.append((name, self.env.now))
+        return on_phase
+
+    def _heal_later(self, domain_a: str, domain_b: str, delay_s: float):
+        yield self.env.timeout(delay_s)
+        link = self.federation.link(domain_a, domain_b)
+        if not link.up:
+            self.heal(domain_a, domain_b)
+
+    # ------------------------------------------------------------------ audit
+    def _catalog_copies(self, domain, uid: str) -> int:
+        return sum(1 for row in domain.catalog.all_data_now()
+                   if row.uid == uid)
+
+    def verify(self) -> List[str]:
+        """Audit the export ledger and the sovereignty invariants.
+
+        Raw-scans every domain (no gateways, no WAN), so the audit sees
+        exactly what the partition left behind:
+
+        * a completed ``replicate`` record's uid is installed in the target
+          domain exactly once (catalog), not zero (lost) or more
+          (duplicated);
+        * nothing non-``public`` is observed outside its home domain —
+          ``private`` leaks via :meth:`Federation.private_leaks`, and any
+          pinned (``unlisted``/``private``) datum in a foreign catalog is a
+          replication policy breach;
+        * no ledger record is still pending.
+        """
+        violations: List[str] = []
+        federation = self.federation
+
+        for record in self.ledger.completed:
+            if record["kind"] != "replicate":
+                continue
+            uid, target = record["key"], record["value"]
+            domain = federation.domain(target)
+            copies = self._catalog_copies(domain, uid)
+            if copies == 0:
+                violations.append(
+                    f"lost: completed replicate of {uid!r} to {target!r} "
+                    f"but the target catalog does not know it")
+            elif copies > 1:
+                violations.append(
+                    f"duplicated: {uid!r} installed {copies} times in "
+                    f"{target!r}")
+
+        violations.extend(federation.private_leaks())
+
+        for home_name, home in federation.domains.items():
+            for data in home.home_data():
+                if home.visibility_of(data.uid) == "public":
+                    continue
+                for other_name, other in federation.domains.items():
+                    if other_name != home_name and other.knows(data.uid):
+                        violations.append(
+                            f"leaked: pinned "
+                            f"({home.visibility_of(data.uid)}) datum "
+                            f"{data.uid} (home {home_name}) observed in "
+                            f"{other_name}'s catalog")
+
+        pending = self.ledger.pending
+        if pending:
+            violations.append(
+                f"{len(pending)} ledger records still pending "
+                f"(first: {pending[0]})")
+        return violations
+
+    def assert_ok(self) -> None:
+        violations = self.verify()
+        assert not violations, "federation invariants violated:\n" + "\n".join(
             f"  - {v}" for v in violations)

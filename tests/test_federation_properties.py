@@ -1,0 +1,192 @@
+"""Property-based tests of the federation policy layer.
+
+Two tiers:
+
+* **Pure policy** (200+ examples each): random trust policies and
+  visibility assignments against :mod:`repro.federation.policy`.  The
+  admissibility functions are re-derived from first principles inside the
+  test and must agree with the production functions on every input; the
+  structural properties (private never leaves, allowlists exclude
+  non-members, listing implies fetchability, export implies listing) are
+  checked independently so a bug in both derivations would still trip.
+
+* **Simulation-backed** (smaller example budget — each example builds a
+  real multi-domain :class:`~repro.federation.deployment.Federation`):
+  federated search returns *exactly* the policy-admissible set, and
+  scheduled replication places copies in *exactly* the domains
+  :func:`~repro.federation.policy.may_export` admits — pinned data never
+  leaves home, whatever the random peer graph and policies say.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attributes import VISIBILITIES, Attribute
+from repro.federation.deployment import DomainSpec, Federation
+from repro.federation.policy import (PRIVATE, PUBLIC, UNLISTED, TrustPolicy,
+                                     may_export, may_fetch, may_list)
+from repro.storage.filesystem import FileContent
+
+DOMAINS = ("d0", "d1", "d2", "d3")
+
+visibilities = st.sampled_from(VISIBILITIES)
+domain_names = st.sampled_from(DOMAINS)
+
+
+@st.composite
+def trust_policies(draw):
+    if draw(st.booleans()):
+        return TrustPolicy.open_()
+    peers = draw(st.frozensets(domain_names, max_size=len(DOMAINS)))
+    return TrustPolicy.allowlist(peers)
+
+
+# ---------------------------------------------------------------------------
+# pure policy tier
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(visibility=visibilities, caller=domain_names, home=domain_names,
+       trust=trust_policies())
+def test_policy_matches_first_principles(visibility, caller, home, trust):
+    admitted = trust.kind == "open" or caller in trust.peers
+    expect_list = caller == home or (admitted and visibility == PUBLIC)
+    expect_fetch = caller == home or (admitted
+                                      and visibility in (PUBLIC, UNLISTED))
+    assert may_list(visibility, caller, home, trust) == expect_list
+    assert may_fetch(visibility, caller, home, trust) == expect_fetch
+
+
+@settings(max_examples=200, deadline=None)
+@given(visibility=visibilities, target=domain_names, home=domain_names,
+       home_trust=trust_policies(), target_trust=trust_policies())
+def test_export_matches_first_principles(visibility, target, home,
+                                         home_trust, target_trust):
+    expect = (target == home
+              or (home_trust.admits(target) and target_trust.admits(home)
+                  and visibility == PUBLIC))
+    assert may_export(visibility, target, home, home_trust,
+                      target_trust) == expect
+
+
+@settings(max_examples=200, deadline=None)
+@given(caller=domain_names, home=domain_names, trust=trust_policies(),
+       target_trust=trust_policies())
+def test_policy_structure(caller, home, trust, target_trust):
+    # Private data is invisible cross-domain under EVERY policy.
+    if caller != home:
+        assert not may_list(PRIVATE, caller, home, trust)
+        assert not may_fetch(PRIVATE, caller, home, trust)
+        assert not may_export(PRIVATE, caller, home, trust, target_trust)
+        # Unlisted is reachable by reference but never listed or exported.
+        assert not may_list(UNLISTED, caller, home, trust)
+        assert not may_export(UNLISTED, caller, home, trust, target_trust)
+    # The home domain is always fully admitted to its own data.
+    for visibility in VISIBILITIES:
+        assert may_list(visibility, home, home, trust)
+        assert may_fetch(visibility, home, home, trust)
+    # Listing is the strictest read: whatever is listed is fetchable.
+    for visibility in VISIBILITIES:
+        if may_list(visibility, caller, home, trust):
+            assert may_fetch(visibility, caller, home, trust)
+    # An export target could also have found the datum by searching.
+    for visibility in VISIBILITIES:
+        if may_export(visibility, caller, home, trust, target_trust):
+            assert may_list(visibility, caller, home, trust)
+
+
+@settings(max_examples=200, deadline=None)
+@given(caller=domain_names, trust=trust_policies())
+def test_allowlist_excludes_non_members(caller, trust):
+    if trust.kind == "allowlist" and caller not in trust.peers:
+        for visibility in VISIBILITIES:
+            assert not may_list(visibility, caller, "home", trust)
+            assert not may_fetch(visibility, caller, "home", trust)
+
+
+# ---------------------------------------------------------------------------
+# simulation-backed tier
+# ---------------------------------------------------------------------------
+
+@st.composite
+def federation_cases(draw):
+    n_domains = draw(st.integers(min_value=2, max_value=3))
+    names = DOMAINS[:n_domains]
+    trusts = {}
+    for name in names:
+        if draw(st.booleans()):
+            trusts[name] = ("open", ())
+        else:
+            peers = draw(st.frozensets(
+                st.sampled_from([n for n in names if n != name]),
+                max_size=n_domains - 1))
+            trusts[name] = ("allowlist", tuple(sorted(peers)))
+    n_data = draw(st.integers(min_value=1, max_value=5))
+    data = [(draw(st.sampled_from(names)), draw(visibilities))
+            for _ in range(n_data)]
+    return names, trusts, data
+
+
+def _build(names, trusts, data):
+    federation = Federation(
+        [DomainSpec(name, n_workers=0, trust=trusts[name][0],
+                    trust_peers=trusts[name][1], seed=index)
+         for index, name in enumerate(names)],
+        wan_latency_s=0.01, wan_bandwidth_mbps=100.0)
+    federation.peer_all()
+    published = []
+    for index, (home, visibility) in enumerate(data):
+        content = FileContent.from_seed(f"prop-{index:03d}", 0.01)
+        datum = federation.domain(home).publish(content, Attribute(
+            name=f"prop-{index:03d}", replica=-1, protocol="http",
+            visibility=visibility))
+        published.append((datum, home, visibility))
+    return federation, published
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=federation_cases())
+def test_federated_search_is_exactly_the_admissible_set(case):
+    names, trusts, data = case
+    federation, published = _build(names, trusts, data)
+    env = federation.env
+    for caller in names:
+        gateway = federation.domain(caller).gateway
+        rows, unreachable = env.run(env.process(gateway.federated_search()))
+        assert unreachable == []
+        got = {row["uid"] for row in rows}
+        expect = set()
+        for datum, home, visibility in published:
+            trust = federation.domain(home).trust
+            if may_list(visibility, caller, home, trust):
+                expect.add(datum.uid)
+        assert got == expect, (
+            f"caller {caller}: search returned {got}, policy admits "
+            f"{expect} (trusts={trusts}, data={data})")
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=federation_cases())
+def test_replication_places_exactly_the_exportable_set(case):
+    names, trusts, data = case
+    federation, published = _build(names, trusts, data)
+    env = federation.env
+    for name in names:
+        replicator = federation.domain(name).start_replicator(period_s=0.1)
+        drained = env.run(env.process(replicator.run_until_drained()))
+        assert drained is True
+    for datum, home, visibility in published:
+        home_trust = federation.domain(home).trust
+        expect = {home}
+        for target in names:
+            if target == home:
+                continue
+            target_trust = federation.domain(target).trust
+            if may_export(visibility, target, home, home_trust,
+                          target_trust):
+                expect.add(target)
+        assert set(federation.holders_of(datum.uid)) == expect, (
+            f"datum {datum.uid} (home {home}, {visibility}): holders "
+            f"{federation.holders_of(datum.uid)}, policy admits {expect}")
+    assert federation.private_leaks() == []
