@@ -19,6 +19,10 @@ Subcommands:
   points, ``--retries K`` re-runs crashing points, and a point that still
   fails becomes a structured failure entry in the JSON (exit code 1).
 * ``cache ls|stats|clear`` — inspect or empty the sweep result cache.
+* ``lint [PATH] [--format json] [--rules IDS] [--baseline f.json]`` —
+  run detlint, the determinism & architecture linter (``repro.analysis``)
+  over ``src/repro``; exit 1 on findings, 2 on usage errors.  See
+  "Determinism contract & layer DAG" in ``docs/ARCHITECTURE.md``.
 
 Parameter values (``--set``/``--grid``) are parsed as JSON when possible
 (``replica=5`` → int, ``sizes_mb=[10,100]`` → list) and fall back to plain
@@ -45,6 +49,7 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.bench.reporting import format_table
 from repro.experiments import (
     ResultCache,
@@ -435,6 +440,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help=f"result cache directory "
                               f"(default {default_cache_dir()})")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_lint = sub.add_parser(
+        "lint", help="run detlint (determinism & architecture rules)")
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=run_lint)
     return parser
 
 

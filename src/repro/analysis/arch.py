@@ -1,0 +1,175 @@
+"""ARCH0xx — architecture rules.
+
+* ARCH001 — the layer DAG: ``repro.*`` packages are ranked
+  (see :data:`repro.analysis.config.LAYER_GROUPS`); an import may only
+  reach its own package, a strictly lower group, or — for groups marked
+  ``allow_intra`` — a peer in the same group.  Violations are reported
+  as the offending import edge.  Sanctioned exceptions live in
+  ``LAYER_EXEMPTIONS`` with a mandatory justification.
+
+* ARCH002 — the kernel surface: outside ``repro.sim`` only the names in
+  ``SIM_IMPORT_SURFACE`` may be imported from the simulation substrate,
+  and only the ``ENV_SURFACE`` attributes may be touched on an
+  Environment.  That pinned surface is the clock/transport interface a
+  future real-time asyncio backend must implement (ROADMAP), so every
+  new dependency on kernel internals has to be argued for here first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.module import ParsedModule
+from repro.analysis.rules import Rule, register
+
+__all__ = ["LayerDagRule", "KernelSurfaceRule"]
+
+
+def _finding(module: ParsedModule, rule: str, node: ast.AST,
+             message: str) -> Finding:
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    return Finding(rule=rule, path=module.rel, line=line, col=col,
+                   message=message, snippet=module.snippet(line))
+
+
+def _imported_repro_package(node: ast.AST, root: str) -> Optional[str]:
+    """The ``repro.<pkg>`` package an import statement reaches, if any."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == root:
+                return parts[1] if len(parts) > 1 else ""
+    elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+        parts = node.module.split(".")
+        if parts[0] == root:
+            return parts[1] if len(parts) > 1 else ""
+    return None
+
+
+@register
+class LayerDagRule(Rule):
+    """ARCH001: imports must respect the declared layer DAG."""
+
+    rule_id = "ARCH001"
+    title = "layer DAG violation (upward or cross-peer import)"
+
+    def check(self, module: ParsedModule,
+              config: LintConfig) -> Iterator[Finding]:
+        source_rank = config.layer_rank(module.package)
+        if source_rank < 0:
+            return  # unknown package: not part of the declared DAG
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            target = _imported_repro_package(node, config.root_package)
+            if target is None or target == module.package:
+                continue
+            target_rank = config.layer_rank(target)
+            if target_rank < 0:
+                yield _finding(
+                    module, self.rule_id, node,
+                    f"import edge `{module.package or '<root>'} -> "
+                    f"{target or '<root>'}`: package "
+                    f"`{config.root_package}.{target}` is not in the "
+                    f"declared layer DAG (analysis/config.py)")
+                continue
+            if target_rank < source_rank:
+                continue
+            if target_rank == source_rank and \
+                    config.layer_groups[source_rank].allow_intra:
+                continue
+            if (module.rel, target) in config.layer_exemptions:
+                continue
+            direction = ("upward" if target_rank > source_rank
+                         else "cross-peer")
+            yield _finding(
+                module, self.rule_id, node,
+                f"{direction} import edge `{module.package or '<root>'} -> "
+                f"{target or '<root>'}` violates the layer DAG "
+                f"(rank {source_rank} may only import below itself); "
+                f"either invert the dependency or add a justified "
+                f"exemption in analysis/config.py")
+
+
+@register
+class KernelSurfaceRule(Rule):
+    """ARCH002: non-sim code may only touch the pinned kernel surface."""
+
+    rule_id = "ARCH002"
+    title = "use of sim internals beyond the pinned kernel surface"
+
+    #: receiver spellings treated as "an Environment" by convention.
+    _ENV_NAMES = frozenset({"env", "environment"})
+    _ENV_ATTRS = frozenset({"env", "_env", "environment"})
+
+    def check(self, module: ParsedModule,
+              config: LintConfig) -> Iterator[Finding]:
+        if config.is_sim_internal(module.rel) or module.package == "analysis":
+            return
+        yield from self._check_imports(module, config)
+        yield from self._check_attributes(module, config)
+
+    def _check_imports(self, module: ParsedModule,
+                       config: LintConfig) -> Iterator[Finding]:
+        sim_root = f"{config.root_package}.sim"
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == sim_root \
+                            or alias.name.startswith(sim_root + "."):
+                        yield _finding(
+                            module, self.rule_id, node,
+                            f"`import {alias.name}` exposes the whole sim "
+                            f"module — import the named surface instead "
+                            f"(see SIM_IMPORT_SURFACE)")
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and not node.level:
+                if node.module != sim_root \
+                        and not node.module.startswith(sim_root + "."):
+                    continue
+                allowed = config.sim_import_surface.get(node.module)
+                if allowed is None:
+                    yield _finding(
+                        module, self.rule_id, node,
+                        f"`{node.module}` is sim-internal; non-sim code "
+                        f"may import only from "
+                        f"{', '.join(sorted(config.sim_import_surface))}")
+                    continue
+                for alias in node.names:
+                    if alias.name not in allowed:
+                        yield _finding(
+                            module, self.rule_id, node,
+                            f"`from {node.module} import {alias.name}` is "
+                            f"outside the pinned kernel surface "
+                            f"{sorted(allowed)} — extend the surface "
+                            f"deliberately (it is the asyncio-backend "
+                            f"interface spec) or avoid the dependency")
+
+    def _check_attributes(self, module: ParsedModule,
+                          config: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not self._is_env_receiver(node.value):
+                continue
+            if node.attr in config.env_surface:
+                continue
+            kind = ("private kernel attribute"
+                    if node.attr.startswith("_")
+                    else "attribute outside the pinned Environment surface")
+            yield _finding(
+                module, self.rule_id, node,
+                f"`{ast.unparse(node)}`: {kind} "
+                f"(allowed: {', '.join(sorted(config.env_surface))}) — "
+                f"this surface is the asyncio-backend interface spec")
+
+    def _is_env_receiver(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self._ENV_NAMES
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._ENV_ATTRS
+        return False

@@ -1,0 +1,99 @@
+"""Per-file parse artefacts shared by every rule.
+
+A :class:`ParsedModule` is built once per source file and handed to each
+rule: the AST, the raw source lines, the pragma map, and an import
+resolution table mapping local names to fully qualified module paths
+(``np`` → ``numpy``, ``datetime`` → ``datetime.datetime`` after
+``from datetime import datetime``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.pragmas import Pragma, collect_pragmas
+
+__all__ = ["ParsedModule", "parse_module", "resolve_qualified"]
+
+
+@dataclass
+class ParsedModule:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path                     #: absolute path on disk
+    rel: str                       #: posix path relative to the scan root
+    package: str                   #: first path component ("" for root files)
+    tree: ast.Module
+    source_lines: List[str]
+    pragmas: Dict[int, Pragma]
+    #: local name → fully qualified origin ("np" → "numpy",
+    #: "perf_counter" → "time.perf_counter").
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.source_lines):
+            return self.source_lines[line - 1].strip()
+        return ""
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Build the local-name → qualified-origin table for a module."""
+
+    def __init__(self) -> None:
+        self.table: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            origin = alias.name if alias.asname else alias.name.split(".")[0]
+            self.table[local] = origin
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports: resolved by the ARCH rules via rel path
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.table[local] = f"{node.module}.{alias.name}"
+
+
+def resolve_qualified(module: ParsedModule,
+                      node: ast.AST) -> Optional[str]:
+    """Resolve an expression to a dotted origin name, if it is one.
+
+    ``Name('np')`` → ``numpy``; ``Attribute(Name('np'), 'random')`` →
+    ``numpy.random``; anything non-trivial resolves to ``None``.
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    origin = module.imports.get(current.id)
+    if origin is None:
+        return None
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+def parse_module(path: Path, rel: str) -> ParsedModule:
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    collector = _ImportCollector()
+    collector.visit(tree)
+    package = rel.split("/", 1)[0] if "/" in rel else ""
+    return ParsedModule(
+        path=path,
+        rel=rel,
+        package=package,
+        tree=tree,
+        source_lines=source.splitlines(),
+        pragmas=collect_pragmas(source),
+        imports=collector.table,
+    )

@@ -1,0 +1,68 @@
+"""``# detlint: ignore[...]`` pragma parsing.
+
+Grammar (one per physical line, in a comment)::
+
+    # detlint: ignore[DET001] — reason text
+    # detlint: ignore[DET003,DET004] - reason text
+
+The rule list is mandatory; the reason is mandatory (LINT001 otherwise)
+and may be introduced by an em dash, hyphen(s) or colon.  A pragma
+suppresses findings of the listed rules on its own line only; a pragma
+that suppresses nothing is reported as LINT002 so stale suppressions
+cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["Pragma", "collect_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*detlint:\s*ignore\[(?P<rules>[A-Z0-9,\s]*)\]"
+    r"(?:\s*(?:—|–|-+|:)\s*(?P<reason>.*))?$"
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int                      #: physical line the pragma sits on
+    rules: Tuple[str, ...]         #: rule ids it suppresses
+    reason: str                    #: justification text ("" if missing)
+    used_rules: Set[str] = field(default_factory=set)
+
+    @property
+    def well_formed(self) -> bool:
+        return bool(self.rules) and bool(self.reason.strip())
+
+
+def collect_pragmas(source: str) -> Dict[int, Pragma]:
+    """Map line number → pragma for every detlint comment in *source*.
+
+    Tokenising (rather than regexing raw lines) keeps string literals
+    that merely *mention* the pragma syntax from being parsed as one.
+    """
+    pragmas: Dict[int, Pragma] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments: List[Tuple[int, str]] = [
+            (tok.start[0], tok.string) for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:
+        return pragmas
+    for line, text in comments:
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(part.strip() for part in match.group("rules").split(",")
+                      if part.strip())
+        reason = (match.group("reason") or "").strip()
+        pragmas[line] = Pragma(line=line, rules=rules, reason=reason)
+    return pragmas

@@ -1,0 +1,68 @@
+"""Rule base class and registry for detlint.
+
+Rules self-register via :func:`register`; the engine instantiates every
+registered rule (or a caller-chosen subset) and feeds each parsed module
+through them.  Registration order is import order, but reports are
+sorted by location, so rule order never shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Type
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.module import ParsedModule
+
+__all__ = ["Rule", "all_rules", "make_rules", "register"]
+
+
+class Rule:
+    """One statically checkable policy. Subclass and :func:`register`."""
+
+    #: e.g. "DET001"; unique across the registry.
+    rule_id: str = ""
+    #: one-line summary shown by ``--list-rules``.
+    title: str = ""
+
+    def check(self, module: ParsedModule,
+              config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def describe(cls) -> str:
+        doc = (cls.__doc__ or "").strip().splitlines()
+        return doc[0] if doc else cls.title
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the global registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """The registry, importing the built-in rule modules on first use."""
+    # Imported lazily to avoid a cycle (rule modules import this one).
+    from repro.analysis import arch, det  # noqa: F401
+    return dict(_REGISTRY)
+
+
+def make_rules(only: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate every registered rule (or the ids listed in *only*)."""
+    registry = all_rules()
+    if only is None:
+        ids = sorted(registry)
+    else:
+        unknown = sorted(set(only) - set(registry))
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(unknown)}")
+        ids = sorted(set(only))
+    return [registry[rule_id]() for rule_id in ids]

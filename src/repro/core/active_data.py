@@ -11,11 +11,15 @@ when some events occur during data life cycle: creation, copy and deletion."
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Union
 
 from repro.core.attributes import Attribute, parse_attribute
 from repro.core.data import Data
 from repro.core.events import ActiveDataEventHandler
+from repro.sim.kernel import Event
+
+if TYPE_CHECKING:  # typing-only: the runtime import goes runtime -> active_data
+    from repro.core.runtime import HostAgent
 
 __all__ = ["ActiveData"]
 
@@ -23,23 +27,26 @@ __all__ = ["ActiveData"]
 class ActiveData:
     """Attribute management, scheduling orders and life-cycle callbacks."""
 
-    def __init__(self, agent):
+    def __init__(self, agent: "HostAgent") -> None:
         self.agent = agent
         self.env = agent.env
 
     # ------------------------------------------------------------------ attributes
-    def create_attribute(self, definition: Union[str, dict, Attribute]) -> Attribute:
+    def create_attribute(
+            self, definition: Union[str, Dict[str, Any], Attribute]) -> Attribute:
         if isinstance(definition, Attribute):
             return definition
         if isinstance(definition, dict):
             return Attribute(**definition)
         return parse_attribute(definition)
 
-    def createAttribute(self, definition):  # noqa: N802 - paper-style alias
+    def createAttribute(  # noqa: N802 - paper-style alias
+            self, definition: Union[str, Dict[str, Any], Attribute]) -> Attribute:
         return self.create_attribute(definition)
 
     # ------------------------------------------------------------------ scheduling
-    def schedule(self, data: Data, attribute: Optional[Attribute] = None):
+    def schedule(self, data: Data, attribute: Optional[Attribute] = None
+                 ) -> Generator[Event, Any, Any]:
         """Generator: hand the datum to the Data Scheduler with its attribute."""
         entry = yield from self.agent.invoke("ds", "schedule", data, attribute)
         self.agent.set_attribute(data, attribute)
@@ -51,7 +58,8 @@ class ActiveData:
         return entry
 
     def pin(self, data: Data, host_name: Optional[str] = None,
-            attribute: Optional[Attribute] = None):
+            attribute: Optional[Attribute] = None
+            ) -> Generator[Event, Any, Any]:
         """Generator: schedule the datum and declare it owned by *host_name*
         (this agent's host when omitted)."""
         owner = host_name if host_name is not None else self.agent.host.name
@@ -62,12 +70,12 @@ class ActiveData:
             self.agent.mark_managed(data.uid)
         return entry
 
-    def unschedule(self, data: Data):
+    def unschedule(self, data: Data) -> Generator[Event, Any, Any]:
         """Generator: withdraw the datum from scheduling (hosts drop it later)."""
         removed = yield from self.agent.invoke("ds", "unschedule", data.uid)
         return removed
 
-    def owners_of(self, data: Data):
+    def owners_of(self, data: Data) -> Generator[Event, Any, List[str]]:
         """Generator: the datum's current active owners, as known by the DS."""
         owners = yield from self.agent.invoke("ds", "owners_of", data.uid)
         return owners

@@ -84,7 +84,7 @@ class Attribute:
     visibility: str = "public"
     uid: str = field(default_factory=lambda: new_auid("attribute"))
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.replica == 0 or self.replica < REPLICATE_TO_ALL:
             raise AttributeError_(
                 f"replica must be a positive count or -1 (got {self.replica})"

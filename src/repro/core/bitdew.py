@@ -11,13 +11,17 @@ Java calls in the paper's listings.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Union
 
 from repro.core.attributes import Attribute, parse_attribute
 from repro.core.data import Data, DataFlag, DataStatus
 from repro.core.events import DataEventType
 from repro.core.exceptions import DataNotFoundError
 from repro.storage.filesystem import FileContent
+from repro.sim.kernel import Event
+
+if TYPE_CHECKING:  # typing-only: the runtime import goes runtime -> bitdew
+    from repro.core.runtime import HostAgent
 
 __all__ = ["BitDew"]
 
@@ -25,14 +29,15 @@ __all__ = ["BitDew"]
 class BitDew:
     """Data-space manipulation bound to one host agent."""
 
-    def __init__(self, agent):
+    def __init__(self, agent: "HostAgent") -> None:
         self.agent = agent
         self.env = agent.env
 
     # ------------------------------------------------------------------ creation
     def create_data(self, name: str, size_mb: float = 0.0,
                     content: Optional[FileContent] = None,
-                    flags: DataFlag = DataFlag.NONE):
+                    flags: DataFlag = DataFlag.NONE
+                    ) -> Generator[Event, Any, Data]:
         """Generator: create a data slot and register it in the Data Catalog.
 
         When *content* is given the meta-information (size, MD5) is computed
@@ -49,10 +54,12 @@ class BitDew:
                                       self.agent.attribute_of(data), self.env.now)
         return registered if registered is not None else data
 
-    def createData(self, *args, **kwargs):  # noqa: N802 - paper-style alias
+    def createData(self, *args: Any,  # noqa: N802 - paper-style alias
+                   **kwargs: Any) -> Generator[Event, Any, Data]:
         return self.create_data(*args, **kwargs)
 
-    def create_attribute(self, definition: Union[str, dict, Attribute]) -> Attribute:
+    def create_attribute(
+            self, definition: Union[str, Dict[str, Any], Attribute]) -> Attribute:
         """Parse/build an attribute (``attr name = {replica=..., oob=...}``)."""
         if isinstance(definition, Attribute):
             return definition
@@ -60,11 +67,13 @@ class BitDew:
             return Attribute(**definition)
         return parse_attribute(definition)
 
-    def createAttribute(self, definition):  # noqa: N802 - paper-style alias
+    def createAttribute(  # noqa: N802 - paper-style alias
+            self, definition: Union[str, Dict[str, Any], Attribute]) -> Attribute:
         return self.create_attribute(definition)
 
     # ------------------------------------------------------------------ content movement
-    def put(self, data: Data, content: FileContent, protocol: Optional[str] = None):
+    def put(self, data: Data, content: FileContent,
+            protocol: Optional[str] = None) -> Generator[Event, Any, Any]:
         """Generator: copy *content* into the data space (the repository).
 
         The local cache gets a copy as well; the repository copy becomes the
@@ -80,7 +89,9 @@ class BitDew:
         data.status = DataStatus.AVAILABLE
         return locator
 
-    def get(self, data: Data, protocol: Optional[str] = None, blocking: bool = True):
+    def get(self, data: Data, protocol: Optional[str] = None,
+            blocking: bool = True
+            ) -> Generator[Event, Any, Optional[FileContent]]:
         """Generator: copy the datum's content from the data space to the cache.
 
         With ``blocking=False`` the download is started in the background and
@@ -97,17 +108,18 @@ class BitDew:
         return None
 
     # ------------------------------------------------------------------ search / delete
-    def search_data(self, name: str):
+    def search_data(self, name: str) -> Generator[Event, Any, Data]:
         """Generator: find a datum by its label through the Data Catalog."""
         matches = yield from self.agent.invoke("dc", "find_by_name", name)
         if not matches:
             raise DataNotFoundError(f"no data named {name!r} in the catalog")
         return matches[0]
 
-    def searchData(self, name: str):  # noqa: N802 - paper-style alias
+    def searchData(  # noqa: N802 - paper-style alias
+            self, name: str) -> Generator[Event, Any, Data]:
         return self.search_data(name)
 
-    def delete_data(self, data: Data):
+    def delete_data(self, data: Data) -> Generator[Event, Any, Data]:
         """Generator: delete the datum everywhere (catalog, scheduler, cache)."""
         yield from self.agent.invoke("dc", "delete_data", data.uid)
         yield from self.agent.invoke("ds", "unschedule", data.uid)
@@ -116,13 +128,13 @@ class BitDew:
         return data
 
     # ------------------------------------------------------------------ generic publish/search
-    def publish(self, key: str, value):
+    def publish(self, key: str, value: Any) -> Generator[Event, Any, Any]:
         """Generator: publish an arbitrary key/value pair in the DHT (§3.3)."""
         result = yield from self.agent.ddc.publish_pair(
             f"kv:{key}", value, origin=self.agent.host.name)
         return result
 
-    def search(self, key: str):
+    def search(self, key: str) -> Generator[Event, Any, List[Any]]:
         """Generator: look up the values published under *key* in the DHT."""
         values = yield from self.agent.ddc.search_pair(
             f"kv:{key}", origin=self.agent.host.name)

@@ -24,11 +24,15 @@ MapReduce (the remaining item on the paper's list) builds on these in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence
 
 from repro.core.attributes import Attribute
 from repro.core.data import Data
 from repro.storage.filesystem import FileContent
+from repro.sim.kernel import Event
+
+if TYPE_CHECKING:  # typing-only: the runtime import goes runtime -> here
+    from repro.core.runtime import HostAgent
 
 __all__ = ["DataCollectives", "ScatterPlan", "slice_content"]
 
@@ -74,7 +78,7 @@ class ScatterPlan:
 class DataCollectives:
     """Collective operations bound to one host agent (usually the master)."""
 
-    def __init__(self, agent, protocol: str = "http"):
+    def __init__(self, agent: "HostAgent", protocol: str = "http") -> None:
         self.agent = agent
         self.env = agent.env
         self.protocol = protocol
@@ -83,7 +87,8 @@ class DataCollectives:
         self._gathered: Dict[str, Data] = {}
 
     # ------------------------------------------------------------------ slices
-    def create_slices(self, name: str, content: FileContent, n_slices: int):
+    def create_slices(self, name: str, content: FileContent, n_slices: int
+                      ) -> Generator[Event, Any, List[Data]]:
         """Generator: slice *content* and create/put one datum per slice."""
         pieces = slice_content(content, n_slices)
         datas: List[Data] = []
@@ -95,7 +100,8 @@ class DataCollectives:
 
     # ------------------------------------------------------------------ broadcast
     def broadcast(self, data: Data, protocol: Optional[str] = None,
-                  lifetime_reference: Optional[str] = None):
+                  lifetime_reference: Optional[str] = None
+                  ) -> Generator[Event, Any, Attribute]:
         """Generator: send one datum to every reservoir host (``replica = -1``)."""
         attribute = Attribute(name=f"bcast-{data.name}", replica=-1,
                               protocol=protocol or self.protocol,
@@ -104,9 +110,11 @@ class DataCollectives:
         return attribute
 
     # ------------------------------------------------------------------ scatter
-    def scatter(self, slices: Sequence[Data], target_agents: Sequence,
+    def scatter(self, slices: Sequence[Data],
+                target_agents: "Sequence[HostAgent]",
                 protocol: Optional[str] = None,
-                fault_tolerance: bool = True):
+                fault_tolerance: bool = True
+                ) -> Generator[Event, Any, ScatterPlan]:
         """Generator: direct slice *i* to target agent *i* (round-robin if
         there are more slices than targets).
 
@@ -141,7 +149,8 @@ class DataCollectives:
         return plan
 
     # ------------------------------------------------------------------ gather
-    def open_collector(self, name: str = "gather-collector"):
+    def open_collector(self, name: str = "gather-collector"
+                       ) -> Generator[Event, Any, Data]:
         """Generator: pin an empty collector datum on this agent's host."""
         collector = yield from self.agent.bitdew.create_data(name)
         attribute = Attribute(name=name, replica=1, protocol=self.protocol)
@@ -154,8 +163,9 @@ class DataCollectives:
     def collector(self) -> Optional[Data]:
         return self._collector
 
-    def contribute(self, agent, data: Data, content: FileContent,
-                   protocol: Optional[str] = None):
+    def contribute(self, agent: "HostAgent", data: Data, content: FileContent,
+                   protocol: Optional[str] = None
+                   ) -> Generator[Event, Any, Attribute]:
         """Generator (worker side): send one datum towards the collector."""
         if self._collector is None:
             raise RuntimeError("open_collector() must be called first")
@@ -173,7 +183,7 @@ class DataCollectives:
         """Data that has physically arrived on the collecting host so far."""
         if self._collector is None:
             return []
-        arrived = []
+        arrived: List[Data] = []
         for data in self.agent.local_data():
             if data.uid == self._collector.uid:
                 continue
@@ -183,7 +193,8 @@ class DataCollectives:
         return arrived
 
     def gather_wait(self, expected: int, poll_s: float = 1.0,
-                    timeout_s: float = 3600.0):
+                    timeout_s: float = 3600.0
+                    ) -> Generator[Event, Any, List[Data]]:
         """Generator: block until *expected* contributions arrived (or timeout)."""
         deadline = self.env.now + timeout_s
         while len(self.gathered()) < expected and self.env.now < deadline:

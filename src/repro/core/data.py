@@ -55,7 +55,7 @@ class Data:
     #: uid of the attribute currently governing this datum (None = default)
     attribute_uid: Optional[str] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a data object needs a non-empty name")
         if self.size_mb < 0:
@@ -99,7 +99,7 @@ class Data:
         return replace(self, status=status)
 
     def __hash__(self) -> int:
-        return hash(self.uid)
+        return hash(self.uid)  # detlint: ignore[DET005] — process-local dict/set membership only; DET003 forbids iterating sets of Data, so the salted order never escapes
 
 
 @dataclass(frozen=True)

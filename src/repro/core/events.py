@@ -13,8 +13,8 @@ almost verbatim.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.core.attributes import Attribute
 from repro.core.data import Data
@@ -71,7 +71,7 @@ class ActiveDataEventHandler:
 class EventBus:
     """Per-host dispatcher of data life-cycle events to installed handlers."""
 
-    def __init__(self, host_name: str):
+    def __init__(self, host_name: str) -> None:
         self.host_name = host_name
         self._handlers: List[ActiveDataEventHandler] = []
         self.history: List[DataEvent] = []

@@ -18,7 +18,7 @@ the Data Scheduler (heartbeat + synchronisation).  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple, Union
 
 from repro.core.active_data import ActiveData
 from repro.core.attributes import Attribute, DEFAULT_ATTRIBUTE
@@ -40,7 +40,7 @@ from repro.net.topology import Topology
 from repro.services.container import ServiceContainer
 from repro.services.fabric import ServiceFabric
 from repro.services.router import FabricRouter, StaticRouter
-from repro.sim.kernel import Environment
+from repro.sim.kernel import Environment, Event, Process
 from repro.sim.rng import RandomStreams
 from repro.storage.database import DatabaseEngine
 from repro.storage.filesystem import FileContent, LocalFileSystem
@@ -95,7 +95,7 @@ class HostAgent:
         max_concurrent_transfers: int = 8,
         reservoir: bool = True,
         max_data_schedule: Optional[int] = None,
-    ):
+    ) -> None:
         self.runtime = runtime
         self.env: Environment = runtime.env
         self.host = host
@@ -204,7 +204,8 @@ class HostAgent:
         return True
 
     # ------------------------------------------------------------------ RPC
-    def invoke(self, service: str, method: str, *args, **kwargs):
+    def invoke(self, service: str, method: str, *args: Any,
+               **kwargs: Any) -> Generator[Event, Any, Any]:
         """Generator: call a D* service method over this agent's channel.
 
         The runtime's :class:`~repro.services.router.ServiceRouter` resolves
@@ -218,7 +219,8 @@ class HostAgent:
 
     # ------------------------------------------------------------------ data movement
     def upload(self, data: Data, content: FileContent,
-               protocol: Optional[str] = None):
+               protocol: Optional[str] = None
+               ) -> Generator[Event, Any, Locator]:
         """Generator: push content into the repository and register its locator."""
         container = self.runtime.container
         protocol_name = protocol or self.attribute_of(data).protocol or "http"
@@ -238,7 +240,9 @@ class HostAgent:
         yield from self.invoke("dc", "add_locator", locator)
         return locator
 
-    def _select_source(self, data: Data, locators: List[Locator]):
+    def _select_source(
+            self, data: Data, locators: List[Locator]
+    ) -> Tuple[Optional[str], Optional[TransferEndpoint]]:
         """Pick a source endpoint: permanent repository copy first, then peers."""
         container = self.runtime.container
         for locator in locators:
@@ -252,7 +256,8 @@ class HostAgent:
         return None, None
 
     def fetch(self, data: Data, protocol: Optional[str] = None,
-              attribute: Optional[Attribute] = None):
+              attribute: Optional[Attribute] = None
+              ) -> Generator[Event, Any, Optional[FileContent]]:
         """Generator: download a datum's content into the local cache.
 
         Follows the paper's protocol: ask the DC for locators, the DR for the
@@ -310,7 +315,7 @@ class HostAgent:
             return self.cached_uids()
         return {uid for uid in self._scheduler_managed if uid in self._local_data}
 
-    def sync_once(self):
+    def sync_once(self) -> Generator[Event, Any, Any]:
         """Generator: one synchronisation with the Data Scheduler (Algorithm 1).
 
         Newly assigned data is downloaded concurrently (bounded by the
@@ -331,7 +336,7 @@ class HostAgent:
                 self.remove_local(uid, fire_event=True)
                 self._scheduler_managed.discard(uid)
 
-        downloads = []
+        downloads: List[Process] = []
         for uid in result.to_download:
             pair = attr_map.get(uid)
             if pair is None:
@@ -351,7 +356,8 @@ class HostAgent:
             yield self.env.all_of(downloads)
         return result
 
-    def _download_assigned(self, data: Data, attr: Attribute):
+    def _download_assigned(self, data: Data, attr: Attribute
+                           ) -> Generator[Event, Any, bool]:
         """Generator: fetch one scheduler-assigned datum and acknowledge it."""
         try:
             yield from self.fetch(data, protocol=attr.protocol, attribute=attr)
@@ -364,7 +370,7 @@ class HostAgent:
         self.event_bus.dispatch(DataEventType.COPY, data, attr, self.env.now)
         return True
 
-    def sync_now(self):
+    def sync_now(self) -> Process:
         """Kick one immediate synchronisation; returns its Process.
 
         Used by the scaling scenarios to model a *sync storm*: many hosts
@@ -375,7 +381,7 @@ class HostAgent:
         """
         return self.env.process(self.sync_once())
 
-    def _sync_loop(self):
+    def _sync_loop(self) -> Generator[Event, Any, None]:
         while self._running:
             if not self.host.online:
                 # A crashed host stops synchronising until it is restarted.
@@ -388,7 +394,7 @@ class HostAgent:
                 pass
             yield self.env.timeout(self.sync_period_s)
 
-    def _heartbeat_loop(self):
+    def _heartbeat_loop(self) -> Generator[Event, Any, None]:
         """Periodic liveness heartbeats, independent of the sync/download cycle.
 
         A host spending minutes downloading a large file must still be seen
@@ -450,7 +456,7 @@ class BitDewEnvironment:
         ring_vnodes: int = 16,
         ring_seed: int = 0,
         domain: Optional[str] = None,
-    ):
+    ) -> None:
         self.topology = topology
         self.env: Environment = topology.env
         self.network: Network = topology.network
@@ -474,6 +480,10 @@ class BitDewEnvironment:
                 f"deployment asks for {n_service} service hosts but the "
                 f"topology provides {len(topology.service_hosts)}")
         fabric_mode = shards > 1 or service_replicas > 1 or n_service > 1
+        self.fabric: Optional[ServiceFabric]
+        #: the duck-typed service surface: a single ServiceContainer or a
+        #: sharded/replicated ServiceFabric presenting the same interface
+        self.container: Any
         if fabric_mode:
             self.fabric = ServiceFabric(
                 self.env, topology.service_hosts[:n_service], self.network,
@@ -543,7 +553,9 @@ class BitDewEnvironment:
                 # Desynchronise the pull loops like real deployments do.
                 delay = self.rng.uniform(f"stagger-{host.name}", 0.0,
                                          agent.sync_period_s)
-                def _delayed_start(agent=agent, delay=delay):
+                def _delayed_start(agent: HostAgent = agent,
+                                   delay: float = delay
+                                   ) -> Generator[Event, Any, None]:
                     yield self.env.timeout(delay)
                     agent.start()
                 self.env.process(_delayed_start())
@@ -552,7 +564,7 @@ class BitDewEnvironment:
         return agent
 
     def attach_all(self, hosts: Optional[List[Host]] = None,
-                   **kwargs) -> List[HostAgent]:
+                   **kwargs: Any) -> List[HostAgent]:
         """Attach every worker host of the topology (or the given list)."""
         targets = hosts if hosts is not None else self.topology.worker_hosts
         return [self.attach(host, **kwargs) for host in targets]
@@ -564,7 +576,7 @@ class BitDewEnvironment:
             self.ddc.leave(host.name)
             self.container.failure_detector.forget(host.name)
 
-    def kick_sync(self, hosts: Optional[List[Host]] = None):
+    def kick_sync(self, hosts: Optional[List[Host]] = None) -> Event:
         """Trigger a simultaneous synchronisation of many attached hosts.
 
         Returns an event that triggers once every kicked synchronisation
@@ -581,7 +593,7 @@ class BitDewEnvironment:
         agents = [a for a in agents if a.host.online]
         return self.env.all_of([agent.sync_now() for agent in agents])
 
-    def agent(self, host_or_name) -> HostAgent:
+    def agent(self, host_or_name: Union[Host, str]) -> HostAgent:
         name = host_or_name.name if isinstance(host_or_name, Host) else host_or_name
         try:
             return self.agents[name]
@@ -589,24 +601,24 @@ class BitDewEnvironment:
             raise BitDewError(f"host {name!r} is not attached") from None
 
     # ------------------------------------------------------------------ convenience
-    def run(self, until=None):
+    def run(self, until: Any = None) -> Any:
         """Advance the simulation (delegates to the kernel)."""
         return self.env.run(until)
 
     @property
-    def data_catalog(self):
+    def data_catalog(self) -> Any:
         return self.container.data_catalog
 
     @property
-    def data_repository(self):
+    def data_repository(self) -> Any:
         return self.container.data_repository
 
     @property
-    def data_transfer(self):
+    def data_transfer(self) -> Any:
         return self.container.data_transfer
 
     @property
-    def data_scheduler(self):
+    def data_scheduler(self) -> Any:
         return self.container.data_scheduler
 
     def crash_host(self, host: Host) -> None:

@@ -13,13 +13,16 @@ generators to be yielded from inside simulation processes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, List
 
 from repro.core.data import Data
 from repro.core.exceptions import TransferAbortedError
 from repro.sim.kernel import Environment, Event
-from repro.sim.resources import Resource
+from repro.sim.resources import Request, Resource
 from repro.transfer.oob import TransferState
+
+if TYPE_CHECKING:  # typing-only: the runtime import goes runtime -> here
+    from repro.core.runtime import HostAgent
 
 __all__ = ["TransferManager"]
 
@@ -27,7 +30,7 @@ __all__ = ["TransferManager"]
 class TransferManager:
     """Non-blocking transfer control: probe, wait, barrier, concurrency."""
 
-    def __init__(self, agent, max_concurrent: int = 8):
+    def __init__(self, agent: "HostAgent", max_concurrent: int = 8) -> None:
         self.agent = agent
         self.env: Environment = agent.env
         self._slots = Resource(self.env, capacity=max_concurrent)
@@ -54,13 +57,13 @@ class TransferManager:
         self._slots = Resource(self.env, capacity=value)
         self._max_concurrent = value
 
-    def acquire_slot(self):
+    def acquire_slot(self) -> Generator[Event, Any, Request]:
         """Generator: take one concurrency slot (released with release_slot)."""
         request = self._slots.request()
         yield request
         return request
 
-    def release_slot(self, request) -> None:
+    def release_slot(self, request: Request) -> None:
         self._slots.release(request)
 
     # -- tracking -------------------------------------------------------------------
@@ -70,7 +73,7 @@ class TransferManager:
         self._states[data.uid] = TransferState.TRANSFERRING
         self.started += 1
 
-        def _done(event: Event, uid=data.uid) -> None:
+        def _done(event: Event, uid: str = data.uid) -> None:
             events = self._pending.get(uid, [])
             if event in events:
                 events.remove(event)
@@ -104,7 +107,7 @@ class TransferManager:
         return sorted(self._pending)
 
     # -- waiting ---------------------------------------------------------------------
-    def wait_for(self, data: Data):
+    def wait_for(self, data: Data) -> Generator[Event, Any, TransferState]:
         """Generator: block until every in-flight transfer of *data* settles.
 
         Raises :class:`TransferAbortedError` if the transfer failed.
@@ -124,10 +127,11 @@ class TransferManager:
                 f"{self.agent.host.name}")
         return self._states.get(data.uid, TransferState.COMPLETE)
 
-    def waitFor(self, data: Data):  # noqa: N802 - paper-style alias
+    def waitFor(  # noqa: N802 - paper-style alias
+            self, data: Data) -> Generator[Event, Any, TransferState]:
         return self.wait_for(data)
 
-    def barrier(self):
+    def barrier(self) -> Generator[Event, Any, int]:
         """Generator: block until *all* transfers known to this manager settle."""
         while self._pending:
             events = [e for lst in self._pending.values() for e in lst]
@@ -140,6 +144,6 @@ class TransferManager:
                     pass
         return self.completed
 
-    def wait_all(self):
+    def wait_all(self) -> Generator[Event, Any, int]:
         """Alias of :meth:`barrier` (kept for API symmetry)."""
         return self.barrier()

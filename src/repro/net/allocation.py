@@ -141,7 +141,7 @@ class DenseAllocator:
             membership[flow.fid] = keys
 
         remaining_capacity = {
-            key: con.effective_capacity for key, con in constraints.items()
+            key: con.effective_capacity for key, con in constraints.items()  # detlint: ignore[DET004] — dict→dict rebuild; constraints is filled in deterministic flow order
         }
         unfixed = {flow.fid: flow for flow in active}
         rates: Dict[int, float] = {}
@@ -156,7 +156,7 @@ class DenseAllocator:
                     counts[key] = counts.get(key, 0) + 1
             if not counts:
                 break
-            for key, count in counts.items():
+            for key, count in counts.items():  # detlint: ignore[DET004] — first-minimum tie-break over deterministic insertion order IS the pinned reference semantics; sorting would change allocations
                 share = remaining_capacity[key] / count
                 if share < best_share:
                     best_share = share
@@ -259,7 +259,7 @@ class IncrementalAllocator:
         counts: Dict[Tuple, int] = {}
         heap: List[Tuple[float, int, Tuple]] = []
         seq = self._push_seq
-        for key, con in constraints.items():
+        for key, con in constraints.items():  # detlint: ignore[DET004] — heap seeded in maintained constraint order; ties broken by the explicit push seq, mirroring the dense reference bit-for-bit
             cap = max(0.0, self._live_capacity(con) - background.get(key, 0.0))
             remaining[key] = cap
             counts[key] = len(con.members)

@@ -275,7 +275,7 @@ class Network:
     # -- failure handling -------------------------------------------------------
     def _on_host_failure(self, host: Host) -> None:
         self._advance()
-        for flow in [f for f in self._active] + list(self._pending_latency.values()):
+        for flow in [f for f in self._active] + list(self._pending_latency.values()):  # detlint: ignore[DET004] — dict filled in flow-creation event order, which the kernel makes deterministic
             if flow.src is host or flow.dst is host:
                 self._fail_flow(flow, f"host {host.name} failed")
         self._recompute()

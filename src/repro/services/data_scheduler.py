@@ -341,7 +341,7 @@ class DataSchedulerService:
         return self._entries.get(data_uid)
 
     def entries(self) -> List[ScheduledEntry]:
-        return list(self._entries.values())
+        return list(self._entries.values())  # detlint: ignore[DET004] — Θ is keyed by registration order (event-deterministic); accessor preserves it
 
     def owners_of(self, data_uid: str) -> Set[str]:
         entry = self._entries.get(data_uid)
@@ -388,7 +388,12 @@ class DataSchedulerService:
             self._remove_entry(uid)
             dropped.append(uid)
         while self._unresolved:
-            uid = self._unresolved.pop()
+            # Drain in sorted order: set.pop() would emit `dropped` in
+            # hash order, which varies across processes.  A while-loop
+            # (not a snapshot) because _remove_entry can mark further
+            # dependents unresolved.
+            uid = min(self._unresolved)
+            self._unresolved.discard(uid)
             if uid in self._entries:
                 self._remove_entry(uid)
                 dropped.append(uid)
@@ -458,7 +463,9 @@ class DataSchedulerService:
         # -- Step 1: keep cached data that is still managed and still alive.
         # Every managed cached datum (valid or not) is also an affinity
         # *provider*: its uid being in Δk is what the reference scan tests.
-        for uid in cached_uids:
+        # Sorted: Δk arrives as a set, and its iteration order fixes the
+        # insertion order of Ψ (and thus the assigned-pairs list).
+        for uid in sorted(cached_uids):
             entry = theta.get(uid)
             if entry is None:
                 continue
@@ -548,7 +555,7 @@ class DataSchedulerService:
                 heapq.heappush(self._deficit_heap, row)
 
         to_delete = sorted(uid for uid in cached_uids if uid not in psi)
-        assigned_pairs = [(e.data, e.attribute) for e in psi.values()]
+        assigned_pairs = [(e.data, e.attribute) for e in psi.values()]  # detlint: ignore[DET004] — Ψ insertion order is sorted Δk then heap-pop order, both deterministic
         self._host_caches[host_name] = set(psi.keys())
         return SyncResult(host_name=host_name, assigned=assigned_pairs,
                           to_delete=to_delete, to_download=sorted(new_uids),
@@ -723,7 +730,7 @@ class DataSchedulerService:
     def missing_replicas(self) -> Dict[str, int]:
         """uids whose live owner count is below the requested replica level."""
         missing: Dict[str, int] = {}
-        for uid, entry in self._entries.items():
+        for uid, entry in self._entries.items():  # detlint: ignore[DET004] — Θ registration order is event-deterministic; result dict is consumed by deficit, not order
             attr = entry.attribute
             if attr.replicate_to_all:
                 continue

@@ -363,7 +363,7 @@ class RebalanceCoordinator:
 
             # ---------------------------------------------------- cutover
             self._phase("cutover", migration)
-            for shard, uids in ds_by_src.items():
+            for shard, uids in sorted(ds_by_src.items()):
                 fabric.scheduler_shards[shard].quiesce(uids)
             migration.seal()
             yield from migration.wait_drained()
@@ -389,7 +389,7 @@ class RebalanceCoordinator:
                 drop = "drop_key" if service == "dc" else "drop_entry"
                 for move in plans[service].moves:
                     yield from self._call(service, move.src, drop, move.key)
-            for shard, uids in ds_by_src.items():
+            for shard, uids in sorted(ds_by_src.items()):
                 fabric.scheduler_shards[shard].unquiesce(uids)
             fabric.commit_transition(new_rings["dc"], new_rings["ds"],
                                      new_shards)
@@ -408,7 +408,7 @@ class RebalanceCoordinator:
             # merge already de-duplicates.
             if migration.sealed:
                 migration.unseal()
-            for shard, uids in ds_by_src.items():
+            for shard, uids in sorted(ds_by_src.items()):
                 fabric.scheduler_shards[shard].unquiesce(uids)
             for shard in range(min(old_shards, len(fabric.scheduler_shards))):
                 fabric.scheduler_shards[shard]._mutation_hook = None

@@ -31,10 +31,11 @@ Algorithm 1's host-visible semantics.  Methods with no key (e.g.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
 from repro.dht.chord import ChordRing, chord_hash
 from repro.net.rpc import FailoverPolicy, RpcChannel, RpcEndpoint, RpcError
+from repro.sim.kernel import Event
 from repro.services.data_scheduler import SyncResult
 
 __all__ = ["FabricRouter", "HandoffPlan", "KeyMove", "ServiceRouter",
@@ -208,18 +209,18 @@ class ServiceRouter:
     """Interface: resolve and invoke D* service calls for a host agent."""
 
     def invoke(self, channel: RpcChannel, service: str, method: str,
-               *args, **kwargs):
+               *args: Any, **kwargs: Any) -> Generator[Event, Any, Any]:
         raise NotImplementedError
 
 
 class StaticRouter(ServiceRouter):
     """Single-container routing: one endpoint per service, no failover."""
 
-    def __init__(self, endpoints: Dict[str, RpcEndpoint]):
+    def __init__(self, endpoints: Dict[str, RpcEndpoint]) -> None:
         self.endpoints = dict(endpoints)
 
     def invoke(self, channel: RpcChannel, service: str, method: str,
-               *args, **kwargs):
+               *args: Any, **kwargs: Any) -> Generator[Event, Any, Any]:
         # Returns the channel's invocation generator directly — the call is
         # indistinguishable from pre-fabric code invoking the endpoint.
         return channel.invoke(self.endpoints[service], method, *args, **kwargs)
@@ -346,7 +347,7 @@ class FabricRouter(ServiceRouter):
         return result
 
     def invoke(self, channel: RpcChannel, service: str, method: str,
-               *args, **kwargs):
+               *args: Any, **kwargs: Any) -> Generator[Event, Any, Any]:
         if service == "ds" and method == "synchronize":
             return self._invoke_synchronize(channel, *args, **kwargs)
         shards = self.fabric.shard_count(service)
@@ -525,7 +526,9 @@ class FabricRouter(ServiceRouter):
             return result
         shards = self.fabric.endpoint_group_count("ds")
         parts: Dict[int, Set[str]] = {}
-        for uid in cached_uids:
+        # Sorted so the per-shard partition (a dict keyed by shard) is
+        # built in a reproducible order regardless of set hash order.
+        for uid in sorted(cached_uids):
             parts.setdefault(migration.effective_shard("ds", uid),
                              set()).add(uid)
         limit = int(max_new if max_new is not None

@@ -25,9 +25,10 @@ choice never changes simulated results — only wall-clock.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import (Any, Callable, Dict, Generator, Iterable, Iterator, List,
+                    Optional, Union)
 
-from repro.sim.scheduler import make_scheduler
+from repro.sim.scheduler import Scheduler, make_scheduler
 
 __all__ = [
     "AllOf",
@@ -36,10 +37,18 @@ __all__ = [
     "Event",
     "Interrupt",
     "Process",
+    "ProcessGenerator",
     "SimulationError",
     "Timeout",
     "Timer",
 ]
+
+#: The shape of a simulated process body: yields events, is resumed with
+#: each event's value, and may ``return`` a final result.
+ProcessGenerator = Generator["Event", Any, Any]
+
+#: An event callback, invoked with the processed event.
+Callback = Callable[["Event"], None]
 
 
 class SimulationError(RuntimeError):
@@ -52,7 +61,7 @@ class Interrupt(Exception):
     The optional *cause* is available as ``exc.cause``.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -73,16 +82,20 @@ class Event:
 
     #: Set by :meth:`Timer.cancel`; cancelled events are skipped (and lazily
     #: removed from the heap) instead of running their callbacks.
-    cancelled = False
+    cancelled: bool = False
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[List[Callback]] = []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         #: True once the exception carried by a failed event has been
         #: delivered to at least one waiter (or defused explicitly).
         self.defused = False
+        #: Per-environment creation sequence number: a stable identity for
+        #: reprs and traces.  A memory address (``id``) here would make any
+        #:  debug output containing an event repr differ across runs.
+        self._eid = next(env._event_ids)
 
     # -- state ------------------------------------------------------------
     @property
@@ -137,30 +150,38 @@ class Event:
             self.fail(event._value)
 
     # -- misc --------------------------------------------------------------
-    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+    def _push_callback(self, callback: Callback) -> None:
+        """Append to the pending callback list (the event must be unprocessed)."""
+        callbacks = self.callbacks
+        if callbacks is None:
+            raise SimulationError(f"{self!r} is already processed")
+        callbacks.append(callback)
+
+    def add_callback(self, callback: Callback) -> None:
         if self.callbacks is None:
             # Already processed: run on next scheduling step via a proxy event.
             proxy = Event(self.env)
-            proxy.callbacks.append(callback)
+            proxy._push_callback(callback)
             proxy._ok = self._ok
             proxy._value = self._value
             self.env._schedule(proxy)
         else:
             self.callbacks.append(callback)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         state = "pending"
         if self.processed:
             state = "processed"
         elif self.triggered:
             state = "triggered"
-        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+        return f"<{type(self).__name__} {state} #{self._eid}>"
 
 
 class Timeout(Event):
     """Event that fires after ``delay`` units of simulated time."""
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(self, env: "Environment", delay: float,
+                 value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         super().__init__(env)
@@ -181,8 +202,8 @@ class Timer(Event):
     """
 
     def __init__(self, env: "Environment", delay: float,
-                 callback: Optional[Callable[["Event"], None]] = None,
-                 value: Any = None, priority: int = 1):
+                 callback: Optional[Callback] = None,
+                 value: Any = None, priority: int = 1) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         super().__init__(env)
@@ -190,7 +211,7 @@ class Timer(Event):
         self._ok = True
         self._value = value
         if callback is not None:
-            self.callbacks.append(callback)
+            self._push_callback(callback)
         env._schedule(self, delay=delay, priority=priority)
 
     def cancel(self) -> bool:
@@ -209,11 +230,11 @@ class Timer(Event):
 class Initialize(Event):
     """Internal event used to start a process on the next step."""
 
-    def __init__(self, env: "Environment", process: "Process"):
+    def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        self._push_callback(process._resume)
         env._schedule(self)
 
 
@@ -225,7 +246,7 @@ class Process(Event):
     so processes can wait on each other.
     """
 
-    def __init__(self, env: "Environment", generator: Generator):
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
@@ -253,7 +274,7 @@ class Process(Event):
         proxy._ok = False
         proxy._value = Interrupt(cause)
         proxy.defused = True
-        proxy.callbacks.append(self._resume)
+        proxy._push_callback(self._resume)
         # Detach from the old target so a later trigger does not resume us twice.
         if self._target.callbacks is not None and self._resume in self._target.callbacks:
             self._target.callbacks.remove(self._resume)
@@ -313,7 +334,7 @@ class Process(Event):
 class _Condition(Event):
     """Base for AnyOf/AllOf: waits for a set of events."""
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self.events = list(events)
         self._remaining = len(self.events)
@@ -326,7 +347,7 @@ class _Condition(Event):
             else:
                 event.add_callback(self._check)
 
-    def _collect(self) -> dict:
+    def _collect(self) -> Dict[Event, Any]:
         return {
             ev: ev._value
             for ev in self.events
@@ -372,14 +393,19 @@ class Environment:
     #: normally-scheduled event at the same timestamp.
     SETTLE_PRIORITY = 2
 
-    def __init__(self, initial_time: float = 0.0, scheduler: Any = "heap"):
+    def __init__(self, initial_time: float = 0.0,
+                 scheduler: Union[str, Scheduler] = "heap") -> None:
         self._now = float(initial_time)
         #: The event-queue strategy: a name resolved through
         #: :func:`repro.sim.scheduler.make_scheduler`, or a ready scheduler
-        #: object (anything with push/pop/peek/note_cancelled/__len__).
-        self._scheduler = (make_scheduler(scheduler)
-                           if isinstance(scheduler, str) else scheduler)
-        self._counter = itertools.count()
+        #: object (anything satisfying :class:`repro.sim.scheduler.Scheduler`).
+        self._scheduler: Scheduler = (make_scheduler(scheduler)
+                                      if isinstance(scheduler, str)
+                                      else scheduler)
+        self._counter: Iterator[int] = itertools.count()
+        #: Event creation counter, separate from the scheduling counter so
+        #: repr identities never perturb the (time, priority, seq) order.
+        self._event_ids = itertools.count(1)
         self._active_process: Optional[Process] = None
         #: Number of events processed by :meth:`step` (benchmark metric).
         self.processed_events = 0
@@ -391,13 +417,14 @@ class Environment:
         return self._now
 
     @property
-    def scheduler(self):
+    def scheduler(self) -> Scheduler:
         """The live event-queue strategy object."""
         return self._scheduler
 
     @property
     def scheduler_name(self) -> str:
-        return getattr(self._scheduler, "name", type(self._scheduler).__name__)
+        name = getattr(self._scheduler, "name", None)
+        return name if isinstance(name, str) else type(self._scheduler).__name__
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -410,7 +437,7 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator) -> Process:
+    def process(self, generator: ProcessGenerator) -> Process:
         return Process(self, generator)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
@@ -419,12 +446,11 @@ class Environment:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    def call_later(self, delay: float,
-                   callback: Callable[[Event], None]) -> Timer:
+    def call_later(self, delay: float, callback: Callback) -> Timer:
         """Schedule *callback* after *delay*; returns a cancellable Timer."""
         return Timer(self, delay, callback)
 
-    def settle(self, callback: Callable[[Event], None]) -> Event:
+    def settle(self, callback: Callback) -> Event:
         """Run *callback* at the current instant, after every event already
         queued for this timestamp (including ones those events schedule).
 
@@ -435,7 +461,7 @@ class Environment:
         proxy = Event(self)
         proxy._ok = True
         proxy._value = None
-        proxy.callbacks.append(callback)
+        proxy._push_callback(callback)
         self._schedule(proxy, priority=self.SETTLE_PRIORITY)
         return proxy
 

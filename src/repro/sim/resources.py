@@ -20,7 +20,8 @@ support use as context managers inside a process::
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional
+from types import TracebackType
+from typing import Any, Deque, List, Optional, Type
 
 from repro.sim.kernel import Environment, Event, SimulationError
 
@@ -30,7 +31,7 @@ __all__ = ["Container", "Resource", "Store"]
 class Request(Event):
     """A pending claim on a :class:`Resource` slot."""
 
-    def __init__(self, resource: "Resource"):
+    def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
         resource._queue.append(self)
@@ -39,7 +40,9 @@ class Request(Event):
     def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, exc_type, exc_val, exc_tb) -> bool:
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc_val: Optional[BaseException],
+                 exc_tb: Optional[TracebackType]) -> bool:
         self.resource.release(self)
         return False
 
@@ -47,7 +50,7 @@ class Request(Event):
 class Resource:
     """A resource with ``capacity`` slots and FIFO admission."""
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.env = env
@@ -85,7 +88,7 @@ class Resource:
 
 
 class ContainerPut(Event):
-    def __init__(self, container: "Container", amount: float):
+    def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError("amount must be positive")
         super().__init__(container.env)
@@ -95,7 +98,7 @@ class ContainerPut(Event):
 
 
 class ContainerGet(Event):
-    def __init__(self, container: "Container", amount: float):
+    def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError("amount must be positive")
         super().__init__(container.env)
@@ -108,7 +111,7 @@ class Container:
     """A continuous-quantity container with an optional capacity bound."""
 
     def __init__(self, env: Environment, capacity: float = float("inf"),
-                 init: float = 0.0):
+                 init: float = 0.0) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if init < 0 or init > capacity:
@@ -150,7 +153,7 @@ class Container:
 
 
 class StorePut(Event):
-    def __init__(self, store: "Store", item: Any):
+    def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
         store._put_queue.append(self)
@@ -158,7 +161,7 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
-    def __init__(self, store: "Store"):
+    def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
         store._get_queue.append(self)
         store._trigger()
@@ -167,7 +170,7 @@ class StoreGet(Event):
 class Store:
     """A FIFO store of arbitrary items with optional capacity."""
 
-    def __init__(self, env: Environment, capacity: float = float("inf")):
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.env = env

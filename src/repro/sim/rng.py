@@ -11,7 +11,7 @@ are constructed.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -27,7 +27,7 @@ def derive_seed(master_seed: int, name: str) -> int:
 class RandomStreams:
     """A registry of named, independent :class:`numpy.random.Generator` streams."""
 
-    def __init__(self, master_seed: int = 0):
+    def __init__(self, master_seed: int = 0) -> None:
         self.master_seed = int(master_seed)
         self._streams: Dict[str, np.random.Generator] = {}
 
@@ -73,7 +73,7 @@ class RandomStreams:
             raise ValueError("n must be positive")
         return int(self.stream(name).integers(0, n))
 
-    def shuffle(self, name: str, items: list) -> list:
+    def shuffle(self, name: str, items: List[Any]) -> List[Any]:
         """Return a shuffled copy of *items*."""
         out = list(items)
         self.stream(name).shuffle(out)

@@ -42,17 +42,44 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Tuple
+
+if TYPE_CHECKING:  # typing-only: the runtime import goes kernel -> scheduler
+    from repro.sim.kernel import Event
 
 __all__ = [
     "CalendarQueueScheduler",
+    "Entry",
     "HeapScheduler",
     "OracleScheduler",
+    "Scheduler",
     "make_scheduler",
 ]
 
 #: A scheduling entry: (time, priority, seq, event).
-Entry = Tuple[float, int, int, object]
+Entry = Tuple[float, int, int, "Event"]
+
+
+class Scheduler(Protocol):
+    """The event-queue strategy interface the kernel drives.
+
+    Any object with these members can be passed to
+    ``Environment(scheduler=...)``.  Implementations must realise the total
+    ``(time, priority, seq)`` order: ``pop`` returns the minimal live entry
+    and ``peek`` previews it without removal (both skip cancelled events).
+    """
+
+    name: str
+
+    def __len__(self) -> int: ...
+
+    def push(self, entry: Entry) -> None: ...
+
+    def peek(self) -> Optional[Entry]: ...
+
+    def pop(self) -> Entry: ...
+
+    def note_cancelled(self) -> None: ...
 
 
 class HeapScheduler:
@@ -190,7 +217,7 @@ class CalendarQueueScheduler:
 
     def _rebuild(self, width: float) -> None:
         entries = [entry
-                   for bucket in self._buckets.values()
+                   for bucket in self._buckets.values()  # detlint: ignore[DET004] — re-bucketing order is immaterial: pops follow the total (time, priority, seq) order
                    for entry in bucket
                    if not entry[3].cancelled]
         self._width = width
@@ -285,10 +312,12 @@ class OracleScheduler:
 
     name = "oracle"
 
-    def __init__(self, reference=None, candidate=None) -> None:
-        self.reference = reference if reference is not None else HeapScheduler()
-        self.candidate = (candidate if candidate is not None
-                          else CalendarQueueScheduler())
+    def __init__(self, reference: Optional[Scheduler] = None,
+                 candidate: Optional[Scheduler] = None) -> None:
+        self.reference: Scheduler = (
+            reference if reference is not None else HeapScheduler())
+        self.candidate: Scheduler = (
+            candidate if candidate is not None else CalendarQueueScheduler())
         #: number of pops certified identical
         self.agreements = 0
 
@@ -321,7 +350,7 @@ class OracleScheduler:
         self.candidate.note_cancelled()
 
 
-def make_scheduler(name: str = "heap"):
+def make_scheduler(name: str = "heap") -> Scheduler:
     """Resolve a scheduler by name (``heap`` | ``calendar`` | ``oracle``)."""
     if name == "heap":
         return HeapScheduler()

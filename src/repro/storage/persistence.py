@@ -36,7 +36,7 @@ def new_auid(label: Optional[str] = None) -> str:
     """
     if label is not None:
         return str(uuid.uuid5(_NAMESPACE, f"{label}:{next(_auid_counter)}"))
-    return str(uuid.uuid4())
+    return str(uuid.uuid4())  # detlint: ignore[DET005] — documented non-deterministic fallback; seeded simulations always label their AUIDs
 
 
 def reset_auid_counter() -> None:

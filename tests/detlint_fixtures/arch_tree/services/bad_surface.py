@@ -1,0 +1,10 @@
+"""Fixture: reaching past the pinned kernel surface (ARCH002)."""
+
+from repro.sim.kernel import _PENDING  # SEED:ARCH002-import
+
+
+def sneak(env):
+    return env._schedule  # SEED:ARCH002-attr
+
+
+_ = _PENDING

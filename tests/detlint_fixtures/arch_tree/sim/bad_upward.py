@@ -1,0 +1,5 @@
+"""Fixture: an upward import edge sim -> services (ARCH001)."""
+
+from repro.services.container import ServiceContainer  # SEED:ARCH001
+
+_ = ServiceContainer

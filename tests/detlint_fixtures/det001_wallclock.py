@@ -1,0 +1,7 @@
+"""Fixture: one DET001 violation (wall-clock read)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # SEED:DET001

@@ -1,0 +1,7 @@
+"""Fixture: one DET002 violation (ambient random import)."""
+
+import random  # SEED:DET002
+
+
+def draw() -> float:
+    return random.uniform(0.0, 1.0)

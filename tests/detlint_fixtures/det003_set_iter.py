@@ -1,0 +1,10 @@
+"""Fixture: one DET003 violation (unsorted set iteration)."""
+
+hosts = {"alpha", "beta", "gamma"}
+
+
+def first_labels() -> str:
+    out = ""
+    for name in hosts:  # SEED:DET003
+        out += name[0]
+    return out

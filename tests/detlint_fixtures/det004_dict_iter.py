@@ -1,0 +1,10 @@
+"""Fixture: one DET004 violation (unsorted dict iteration, hot module)."""
+
+table = {"b": 2, "a": 1}
+
+
+def render() -> str:
+    parts = []
+    for key, value in table.items():  # SEED:DET004
+        parts.append(f"{key}={value}")
+    return ",".join(parts)

@@ -1,0 +1,7 @@
+"""Fixture: one DET005 violation (fresh entropy as an identifier)."""
+
+import uuid
+
+
+def make_uid() -> str:
+    return str(uuid.uuid4())  # SEED:DET005

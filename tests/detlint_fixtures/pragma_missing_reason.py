@@ -1,0 +1,7 @@
+"""Fixture: a pragma without a reason is malformed (LINT001)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # detlint: ignore[DET001]

@@ -1,0 +1,7 @@
+"""Fixture: a well-formed pragma suppresses the finding on its line."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # detlint: ignore[DET001] — fixture: pragma round-trip

@@ -1,0 +1,5 @@
+"""Fixture: a pragma that suppresses nothing is itself flagged (LINT002)."""
+
+
+def quiet() -> int:
+    return 1  # detlint: ignore[DET001] — fixture: nothing to suppress here

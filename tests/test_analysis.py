@@ -1,0 +1,241 @@
+"""detlint: the determinism & architecture linter (repro.analysis).
+
+Covers, per ISSUE 9:
+
+* one seeded violation per rule in ``tests/detlint_fixtures/`` — each
+  test asserts the exact rule id *and* line number of the seed;
+* pragma handling: suppression round-trip, reason-required (LINT001),
+  unused-pragma (LINT002);
+* baseline round-trip: record → forgive → regressions still fail;
+* the self-hosting gate: ``src/repro`` lints clean with zero
+  unsuppressed findings;
+* the CLI surface (exit codes, JSON format, --list-rules).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, default_config, run_checks
+from repro.analysis.cli import main as lint_main
+from repro.analysis.config import permissive_config
+from repro.analysis.engine import default_scan_root
+from repro.analysis.findings import write_baseline
+
+FIXTURES = Path(__file__).parent / "detlint_fixtures"
+
+
+def seed_line(path: Path, marker: str) -> int:
+    """1-based line of the ``# SEED:<marker>`` comment in a fixture."""
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if f"SEED:{marker}" in line:
+            return number
+    raise AssertionError(f"no SEED:{marker} marker in {path}")
+
+
+def lint_fixture(name: str, **kwargs):
+    return run_checks(FIXTURES / name, config=permissive_config(), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# One seeded violation per DET rule
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("fixture, rule", [
+    ("det001_wallclock.py", "DET001"),
+    ("det002_rng.py", "DET002"),
+    ("det003_set_iter.py", "DET003"),
+    ("det004_dict_iter.py", "DET004"),
+    ("det005_identity.py", "DET005"),
+])
+def test_det_fixture_flags_exactly_its_seed(fixture: str, rule: str) -> None:
+    report = lint_fixture(fixture)
+    assert [f.rule for f in report.findings] == [rule], report.findings
+    assert report.findings[0].line == seed_line(FIXTURES / fixture, rule)
+    assert not report.suppressed and not report.baselined
+
+
+def test_det003_sorted_wrapping_is_clean(tmp_path: Path) -> None:
+    clean = tmp_path / "sorted_ok.py"
+    clean.write_text(
+        "hosts = {'a', 'b'}\n"
+        "for name in sorted(hosts):\n"
+        "    print(name)\n")
+    report = run_checks(clean, config=permissive_config())
+    assert report.ok, report.findings
+
+
+def test_det004_only_applies_to_hot_modules(tmp_path: Path) -> None:
+    cold = tmp_path / "cold.py"
+    cold.write_text(
+        "table = {'a': 1}\n"
+        "for k, v in table.items():\n"
+        "    print(k, v)\n")
+    hot = run_checks(cold, config=permissive_config(hot=("",)))
+    assert [f.rule for f in hot.findings] == ["DET004"]
+    off = run_checks(cold, config=permissive_config(hot=()))
+    assert off.ok, off.findings
+
+
+# ---------------------------------------------------------------------------
+# ARCH rules over a miniature package tree
+# ---------------------------------------------------------------------------
+
+def test_arch001_upward_edge_reports_the_import(tmp_path_factory) -> None:
+    report = run_checks(FIXTURES / "arch_tree", config=permissive_config(),
+                        rules=["ARCH001"])
+    assert [f.rule for f in report.findings] == ["ARCH001"]
+    finding = report.findings[0]
+    assert finding.path == "sim/bad_upward.py"
+    assert finding.line == seed_line(
+        FIXTURES / "arch_tree/sim/bad_upward.py", "ARCH001")
+    assert "sim -> services" in finding.message
+
+
+def test_arch002_flags_surface_breaches_import_and_attribute() -> None:
+    report = run_checks(FIXTURES / "arch_tree", config=permissive_config(),
+                        rules=["ARCH002"])
+    surface = FIXTURES / "arch_tree/services/bad_surface.py"
+    expected = {
+        ("ARCH002", seed_line(surface, "ARCH002-import")),
+        ("ARCH002", seed_line(surface, "ARCH002-attr")),
+    }
+    got = {(f.rule, f.line) for f in report.findings
+           if f.path == "services/bad_surface.py"}
+    assert got == expected, report.findings
+
+
+def test_arch001_exemption_forgives_a_declared_edge(tmp_path: Path) -> None:
+    tree = tmp_path / "tree"
+    (tree / "sim").mkdir(parents=True)
+    (tree / "sim" / "edge.py").write_text("import repro.services\n")
+    config = permissive_config()
+    flagged = run_checks(tree, config=config, rules=["ARCH001"])
+    assert not flagged.ok
+    from dataclasses import replace
+    forgiven = run_checks(
+        tree,
+        config=replace(config, layer_exemptions={
+            ("sim/edge.py", "services"): "test: sanctioned edge"}),
+        rules=["ARCH001"])
+    assert forgiven.ok, forgiven.findings
+
+
+# ---------------------------------------------------------------------------
+# Pragmas
+# ---------------------------------------------------------------------------
+
+def test_pragma_with_reason_suppresses() -> None:
+    report = lint_fixture("pragma_ok.py")
+    assert report.ok, report.findings
+    assert [f.rule for f in report.suppressed] == ["DET001"]
+
+
+def test_pragma_without_reason_is_malformed_and_suppresses_nothing() -> None:
+    report = lint_fixture("pragma_missing_reason.py")
+    rules = sorted(f.rule for f in report.findings)
+    assert rules == ["DET001", "LINT001"], report.findings
+    assert not report.suppressed
+
+
+def test_unused_pragma_is_flagged() -> None:
+    report = lint_fixture("pragma_unused.py")
+    assert [f.rule for f in report.findings] == ["LINT002"], report.findings
+
+
+# ---------------------------------------------------------------------------
+# Baseline round-trip
+# ---------------------------------------------------------------------------
+
+def test_baseline_roundtrip_forgives_then_catches_regressions(
+        tmp_path: Path) -> None:
+    first = lint_fixture("det001_wallclock.py")
+    assert len(first.findings) == 1
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, first.findings)
+
+    baseline = Baseline.load(baseline_file)
+    forgiven = lint_fixture("det001_wallclock.py", baseline=baseline)
+    assert forgiven.ok
+    assert [f.rule for f in forgiven.baselined] == ["DET001"]
+
+    # A different violation is a regression: the baseline must not mask it.
+    regression = lint_fixture("det002_rng.py", baseline=Baseline.load(
+        baseline_file))
+    assert [f.rule for f in regression.findings] == ["DET002"]
+
+
+def test_baseline_survives_line_shifts(tmp_path: Path) -> None:
+    original = tmp_path / "module.py"
+    original.write_text("import time\n\nt = time.time()\n")
+    config = permissive_config()
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file,
+                   run_checks(original, config=config).findings)
+    # Insert lines above the finding: same code, different line numbers.
+    original.write_text("import time\n\n# padding\n# padding\n\n"
+                        "t = time.time()\n")
+    shifted = run_checks(original, config=config,
+                         baseline=Baseline.load(baseline_file))
+    assert shifted.ok, shifted.findings
+    assert len(shifted.baselined) == 1
+
+
+# ---------------------------------------------------------------------------
+# Self-hosting: this repository lints clean
+# ---------------------------------------------------------------------------
+
+def test_self_scan_is_clean() -> None:
+    report = run_checks()
+    assert report.findings == [], [f.render() for f in report.findings]
+    assert report.files_scanned >= 90
+    # Every suppression necessarily carried a reason (LINT001 otherwise),
+    # and every pragma suppressed something (LINT002 otherwise).
+    assert all(f.rule.startswith(("DET", "ARCH"))
+               for f in report.suppressed)
+
+
+def test_default_scan_root_is_the_repro_package() -> None:
+    root = default_scan_root()
+    assert root.name == "repro"
+    assert (root / "sim" / "kernel.py").is_file()
+    assert default_config().root_package == "repro"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_exit_codes_and_json(tmp_path: Path, capsys) -> None:
+    dirty = FIXTURES / "det001_wallclock.py"
+    assert lint_main([str(dirty), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False
+    assert doc["findings"][0]["rule"] == "DET001"
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_main([str(clean)]) == 0
+
+    assert lint_main([str(dirty), "--rules", "NOPE999"]) == 2
+    assert lint_main([str(tmp_path / "missing.py")]) == 2
+
+
+def test_cli_write_and_use_baseline(tmp_path: Path, capsys) -> None:
+    dirty = FIXTURES / "det001_wallclock.py"
+    baseline = tmp_path / "base.json"
+    assert lint_main([str(dirty), "--write-baseline", str(baseline)]) == 0
+    assert baseline.is_file()
+    assert lint_main([str(dirty), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys) -> None:
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                    "ARCH001", "ARCH002"):
+        assert rule_id in out

@@ -440,3 +440,39 @@ class TestTriggerChaining:
         target.trigger(source)
         target.defused = True
         assert target.ok is False
+
+
+class TestDeterministicRepr:
+    """Event reprs use a per-environment sequence, never memory addresses."""
+
+    def test_repr_is_sequence_numbered(self, env):
+        first = env.event()
+        second = env.timeout(1.0)
+        assert repr(first) == "<Event pending #1>"
+        assert "#2" in repr(second)
+        assert "0x" not in repr(first) + repr(second)
+
+    def test_repr_identical_across_fresh_environments(self):
+        def script(environment):
+            environment.timeout(1.0)
+            evt = environment.event()
+            evt.succeed("v")
+            environment.run(until=2.0)
+            return repr(evt)
+
+        assert script(Environment()) == script(Environment())
+
+    def test_event_ids_do_not_perturb_scheduling_order(self, env):
+        # Reprs draw from a counter separate from the (time, priority, seq)
+        # tiebreaker, so inspecting events must not reorder execution.
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        a = env.process(proc("a"))
+        repr(a)  # touching the repr must be side-effect free
+        env.process(proc("b"))
+        env.run()
+        assert order == ["a", "b"]
