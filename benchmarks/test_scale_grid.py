@@ -19,6 +19,7 @@ from repro.bench.scale import (
     run_completion_curve,
     run_scale_grid,
     run_scale_grid_100k,
+    run_scale_grid_300k,
     run_sync_storm,
 )
 from repro.bench.sweep import run_sweep_parallel
@@ -198,16 +199,20 @@ class TestScaleGrid100k:
         reference heap scheduler + incremental allocator and every
         simulated quantity must match exactly.
         """
-        # Transparency first (cheap): same simulation whatever runs below.
+        # Transparency first (cheap): same simulation whatever runs below
+        # — reference scheduler/allocator, and batched cohort placement.
         small = dict(n_hosts=2000, n_data=500, cohort_size=500,
                      heartbeat_duration_s=10.0)
         fast = run_scale_grid_100k(**small)
         reference = run_scale_grid_100k(scheduler="heap",
                                         allocator="incremental", **small)
+        batched = run_scale_grid_100k(placement="batch", **small)
         volatile = {"wall_s", "setup_wall_s", "run_wall_s",
                     "events_per_sec", "scheduler", "allocator"}
         assert ({k: v for k, v in fast.items() if k not in volatile}
                 == {k: v for k, v in reference.items() if k not in volatile})
+        assert ({k: v for k, v in fast.items() if k not in volatile}
+                == {k: v for k, v in batched.items() if k not in volatile})
 
         if quick_scale():
             n_hosts, n_data = 10_000, 2_500
@@ -251,6 +256,149 @@ class TestScaleGrid100k:
                 "scheduler", "allocator", "placed", "downloaded",
                 "heartbeats", "sim_time_s", "processed_events",
                 "events_per_sec", "wall_s", "setup_wall_s", "run_wall_s")
+        })
+
+
+class TestScaleGrid100kBatched:
+    def test_batched_fast_stack_accelerates_the_grid(self):
+        """Batched cohort placement + array calendar vs the per-host point.
+
+        ``placement=batch`` evaluates each cohort round with one
+        ``compute_schedule_batch`` call (numpy prefix-sum fill) instead of
+        ``cohort_size`` sequential ``compute_schedule`` calls, and the
+        array calendar drains buckets by argsort instead of per-push
+        sifting.  Both are oracle-pinned transparent (the reduced-grid
+        byte-compare above and the CI kernel-smoke job), so the only
+        thing this test measures is the wall clock.  Runs are interleaved
+        and each configuration keeps its best of two, because throttled
+        single-CPU containers routinely wobble by 2× between identical
+        runs; the speedup floor is asserted at full scale only, where the
+        runs are long enough for the rate to be stable.
+        """
+        if quick_scale():
+            kwargs = dict(n_hosts=10_000, n_data=2_500)
+            repeats = 1
+        else:
+            kwargs = dict(n_hosts=100_000, n_data=25_000)
+            repeats = 2
+        configs = {
+            "per-host": dict(),
+            "batched": dict(placement="batch", scheduler="array"),
+        }
+        best = {}
+        for _ in range(repeats):
+            for name, knobs in configs.items():
+                metrics = run_scale_grid_100k(**knobs, **kwargs)
+                if (name not in best or metrics["events_per_sec"]
+                        > best[name]["events_per_sec"]):
+                    best[name] = metrics
+        per_host, batched = best["per-host"], best["batched"]
+        speedup = (batched["events_per_sec"]
+                   / max(per_host["events_per_sec"], 1e-9))
+        emit("Scale grid 100k batched (best of %d)" % repeats, format_table([
+            {"config": name,
+             "scheduler": m["scheduler"],
+             "events_per_sec": m["events_per_sec"],
+             "run_wall_s": m["run_wall_s"],
+             "processed_events": m["processed_events"]}
+            for name, m in best.items()]))
+
+        checks = shape_check("scale grid 100k batched")
+        checks.is_true("same simulation both ways",
+                       batched["processed_events"]
+                       == per_host["processed_events"]
+                       and batched["placed"] == per_host["placed"]
+                       and batched["downloaded"] == per_host["downloaded"])
+        if not quick_scale():
+            # Honest accounting: the per-host baseline measured *today*
+            # already includes this PR's GC-paused timed section, so the
+            # batch's marginal win is ~1.15-1.35× (recorded, not
+            # asserted — single-CPU noise could invert a floor that
+            # tight).  The 2× claim is against the point the repo had
+            # *recorded* before this work — 100,885 events/s
+            # (BENCH.json `scale-grid-100k`, PR 9) — which the fast
+            # stack clears at ~2.1-2.4×; 1.5 leaves noise headroom.
+            checks.ratio_at_least(
+                "fast stack vs the recorded pre-batching point",
+                batched["events_per_sec"] / 100_885.0, 1.5)
+        checks.verify()
+
+        point_id = ("scale-grid-100k-batched-quick" if quick_scale()
+                    else "scale-grid-100k-batched")
+        record_bench_point(point_id, {
+            **{k: batched[k] for k in (
+                "scenario", "n_hosts", "n_data", "replica", "cohort_size",
+                "scheduler", "allocator", "placed", "downloaded",
+                "heartbeats", "sim_time_s", "processed_events",
+                "events_per_sec", "wall_s", "setup_wall_s", "run_wall_s")},
+            "placement": "batch",
+            "per_host_events_per_sec": per_host["events_per_sec"],
+            "speedup_vs_per_host": speedup,
+        })
+
+
+class TestScaleGrid300k:
+    def test_300k_tier_with_fast_defaults(self):
+        """The 300k-host tier: 3× the 100k grid, fast stack by default.
+
+        The scenario is born with the array calendar, the vectorized
+        allocator and batched placement as its defaults; a reduced grid
+        is first certified against the reference heap/incremental/
+        per-host path, then the full ~3M-event storm runs and records
+        the trajectory point toward 1M hosts.
+        """
+        small = dict(n_hosts=2000, n_data=500, cohort_size=500,
+                     heartbeat_duration_s=10.0)
+        fast = run_scale_grid_300k(**small)
+        reference = run_scale_grid_300k(scheduler="heap",
+                                        allocator="incremental",
+                                        placement="host", **small)
+        volatile = {"wall_s", "setup_wall_s", "run_wall_s",
+                    "events_per_sec", "scheduler", "allocator", "placement"}
+        assert ({k: v for k, v in fast.items() if k not in volatile}
+                == {k: v for k, v in reference.items() if k not in volatile})
+
+        if quick_scale():
+            n_hosts, n_data = 30_000, 7_500
+        else:
+            n_hosts, n_data = 300_000, 75_000
+        metrics = run_scale_grid_300k(n_hosts=n_hosts, n_data=n_data)
+        emit("Scale grid 300k (%s scheduler, %s allocator, %s placement)"
+             % (metrics["scheduler"], metrics["allocator"],
+                metrics["placement"]),
+             format_table([
+                 {k: metrics[k] for k in (
+                     "n_hosts", "n_data", "placed", "downloaded",
+                     "heartbeats", "processed_events", "events_per_sec",
+                     "wall_s")}
+             ]))
+
+        checks = shape_check("scale grid 300k")
+        checks.is_true("every datum fully replicated",
+                       metrics["placed"] == n_data)
+        checks.is_true("downloads match placements",
+                       metrics["downloaded"] == n_data * metrics["replica"])
+        checks.is_true("one flow per download",
+                       metrics["completed_flows"] == metrics["downloaded"])
+        checks.is_true("timer-heavy event mix",
+                       metrics["heartbeats"]
+                       >= metrics["processed_events"] * 0.5)
+        if not quick_scale():
+            # The measured rate is ~240k events/s on a single throttled
+            # CPU; ≥10× the seed's ~10k/s leaves 2× headroom for noise.
+            checks.ratio_at_least("events/s vs ~10k/s seed rate",
+                                  metrics["events_per_sec"] / 10_000.0, 10.0)
+        checks.verify()
+
+        point_id = ("scale-grid-300k-quick" if quick_scale()
+                    else "scale-grid-300k")
+        record_bench_point(point_id, {
+            k: metrics[k] for k in (
+                "scenario", "n_hosts", "n_data", "replica", "cohort_size",
+                "scheduler", "allocator", "placement", "placed",
+                "downloaded", "heartbeats", "sim_time_s",
+                "processed_events", "events_per_sec", "wall_s",
+                "setup_wall_s", "run_wall_s")
         })
 
 

@@ -136,6 +136,10 @@ HOT_MODULES: Tuple[str, ...] = (
     "services/rebalance.py",
     "services/router.py",
     "federation/replication.py",
+    # The cohort sync/heartbeat generators feed placement and transfer
+    # order for 100k-host blocks; dict order there is event order.  (The
+    # array calendar scheduler is already covered by ``sim/``.)
+    "workloads/cohort.py",
 )
 
 

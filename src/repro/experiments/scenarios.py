@@ -34,6 +34,7 @@ from repro.bench.scale import (
     _run_completion_curve,
     _run_scale_grid,
     _run_scale_grid_100k,
+    _run_scale_grid_300k,
     _run_sync_storm,
 )
 from repro.bench.sweep import _run_sweep_parallel
@@ -135,6 +136,12 @@ def build_registry() -> ScenarioRegistry:
     registry.register(
         "scale-grid-100k", _run_scale_grid_100k,
         title="Cohort-batched placement storm at ≥100k hosts",
+        paper_ref="beyond the paper (BENCH trajectory)", group="scale",
+        tags=("bench", "kernel"),
+        volatile_keys=_WALL_KEYS + ("run_wall_s",))
+    registry.register(
+        "scale-grid-300k", _run_scale_grid_300k,
+        title="Batched-placement storm at 300k hosts (array calendar)",
         paper_ref="beyond the paper (BENCH trajectory)", group="scale",
         tags=("bench", "kernel"),
         volatile_keys=_WALL_KEYS + ("run_wall_s",))

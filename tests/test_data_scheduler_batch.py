@@ -1,0 +1,200 @@
+"""The batched Algorithm 1 oracle: ``compute_schedule_batch`` == N sequential calls.
+
+``DataSchedulerService.compute_schedule_batch`` promises *exactly* the
+results and post-state of the sequential per-host loop — that promise is
+what lets the cohort workloads and the fabric router batch without
+changing any simulated quantity.  These tests pin it with a hypothesis
+oracle: build two schedulers from the same randomly drawn world, run the
+cohort sequentially on one and batched on the other, and require every
+observable to match — per-host schedules, counters, owner state, the
+replica-deficit heap's live content, and the mutation-hook call sequence.
+
+The drawn worlds deliberately cross the batch's regime boundary (affinity
+attributes, lifetimes, ``reservoir=False``, non-positive limits force the
+documented sequential fallback; disjoint unit-limit cohorts hit the numpy
+prefix-sum fill; everything else the shared-candidate walk) so all three
+code paths face the oracle.
+"""
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import Attribute
+from repro.core.data import Data
+from repro.services.data_scheduler import DataSchedulerService
+from repro.sim.kernel import Environment
+
+pytest.importorskip("numpy")
+
+common_settings = settings(max_examples=60, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# World construction
+# ---------------------------------------------------------------------------
+
+def _attribute(index, replica, affinity, lifetime):
+    return Attribute(name=f"attr{index}", replica=replica,
+                     affinity=affinity,
+                     absolute_lifetime=lifetime)
+
+
+@st.composite
+def worlds(draw):
+    """One drawn scheduler world plus the cohort to synchronise."""
+    n_data = draw(st.integers(min_value=0, max_value=10))
+    specs = []
+    for i in range(n_data):
+        replica = draw(st.sampled_from([-1, 1, 1, 2, 3]))
+        # Affinity references an earlier datum's name (or dangles); any
+        # affinity in Θ forces the batch onto its sequential fallback.
+        affinity = None
+        if draw(st.booleans()) and draw(st.integers(0, 4)) == 0:
+            affinity = f"d{draw(st.integers(0, max(0, n_data - 1)))}"
+        lifetime = (1e6 if draw(st.integers(0, 9)) == 0 else None)
+        specs.append((replica, affinity, lifetime))
+    n_warm = draw(st.integers(min_value=0, max_value=3))
+    warm_hosts = [f"w{i}" for i in range(n_warm)]
+    n_cohort = draw(st.integers(min_value=0, max_value=6))
+    # Duplicate host names (a host syncing twice in one batch) must fall
+    # off the vectorized path and still match the sequential loop.
+    cohort = [f"h{draw(st.integers(0, n_cohort))}" for _ in range(n_cohort)]
+    cache_picks = draw(st.lists(
+        st.lists(st.integers(min_value=0, max_value=max(0, n_data)),
+                 max_size=4),
+        min_size=n_cohort, max_size=n_cohort))
+    reservoir = draw(st.integers(0, 9)) > 0
+    max_new = draw(st.one_of(
+        st.none(),
+        st.integers(min_value=0, max_value=3),
+        st.lists(st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+                 min_size=n_cohort, max_size=n_cohort)))
+    fail_host = draw(st.one_of(st.none(), st.sampled_from(warm_hosts))
+                     if warm_hosts else st.none())
+    return specs, warm_hosts, cohort, cache_picks, reservoir, max_new, fail_host
+
+
+def _build(env, specs, warm_hosts, fail_host, datas, hook_log):
+    """One scheduler holding the drawn Θ, warmed by sequential syncs."""
+    scheduler = DataSchedulerService(env, max_data_schedule=2)
+    scheduler._mutation_hook = hook_log.append
+    for i, (replica, affinity, lifetime) in enumerate(specs):
+        scheduler.schedule(datas[i], _attribute(i, replica, affinity,
+                                                lifetime))
+    for host in warm_hosts:
+        scheduler.compute_schedule(host, set())
+    if fail_host is not None:
+        # A failure-detector repair between the warm-up and the cohort:
+        # owner lists shrink, uids re-enter the deficit.
+        scheduler._on_host_failure(fail_host)
+    return scheduler
+
+
+def _live_heap(scheduler):
+    """The deficit heap's *live* rows (the only part behaviour reads)."""
+    return sorted(row for row in scheduler._deficit_heap
+                  if row[1] in scheduler._replica_deficit
+                  and scheduler._entries[row[1]].seq == row[0])
+
+
+def _result_tuple(result):
+    return ([d.uid for d, _a in result.assigned], result.to_delete,
+            result.to_download, result.time, result.host_name)
+
+
+# ---------------------------------------------------------------------------
+# The oracle
+# ---------------------------------------------------------------------------
+
+@common_settings
+@given(worlds())
+def test_batch_equals_sequential_everywhere(world):
+    specs, warm_hosts, cohort, cache_picks, reservoir, max_new, fail = world
+    env = Environment()
+    datas = [Data(name=f"d{i}") for i in range(len(specs))]
+    known = [d.uid for d in datas]
+    caches = [{known[p] if p < len(known) else f"ghost-{p}"
+               for p in picks}
+              for picks in cache_picks]
+    hooks_seq, hooks_batch = [], []
+    seq = _build(env, specs, warm_hosts, fail, datas, hooks_seq)
+    batch = _build(env, specs, warm_hosts, fail, datas, hooks_batch)
+    assert hooks_seq == hooks_batch
+    hooks_seq.clear(), hooks_batch.clear()
+
+    limits = (max_new if not isinstance(max_new, list)
+              else None)  # scalar (or None) per-host argument
+    expected = [
+        seq.compute_schedule(
+            host, set(cache), reservoir=reservoir,
+            max_new=limits if not isinstance(max_new, list) else max_new[k])
+        for k, (host, cache) in enumerate(zip(cohort, caches))]
+    actual = batch.compute_schedule_batch(cohort, caches,
+                                          reservoir=reservoir,
+                                          max_new=max_new)
+
+    assert [_result_tuple(r) for r in actual] \
+        == [_result_tuple(r) for r in expected]
+    # Counter deltas, owner state, deficit, caches and the hook sequence
+    # must all agree — the batch mutates the scheduler exactly like the
+    # loop does.
+    assert batch.assignments == seq.assignments
+    assert batch.entries_examined == seq.entries_examined
+    assert batch.sync_count == seq.sync_count
+    for uid in known:
+        if uid in seq._entries:
+            assert batch._entries[uid].owners == seq._entries[uid].owners
+    assert batch._owner_index == seq._owner_index
+    assert batch._replica_deficit == seq._replica_deficit
+    assert _live_heap(batch) == _live_heap(seq)
+    assert batch._host_caches == seq._host_caches
+    assert hooks_batch == hooks_seq
+
+
+# ---------------------------------------------------------------------------
+# Per-host limits (the router's rotating budgets)
+# ---------------------------------------------------------------------------
+
+class TestPerHostLimits:
+    def _scheduler(self, n=6, replica=1):
+        env = Environment()
+        scheduler = DataSchedulerService(env, max_data_schedule=4)
+        datas = [Data(name=f"d{i}") for i in range(n)]
+        for i, data in enumerate(datas):
+            scheduler.schedule(data, Attribute(name=f"a{i}", replica=replica))
+        return scheduler, datas
+
+    def test_mixed_limits_walk_per_host(self):
+        scheduler, _datas = self._scheduler(n=6)
+        hosts = ["h0", "h1", "h2", "h3"]
+        results = scheduler.compute_schedule_batch(
+            hosts, [set() for _ in hosts], max_new=[2, 0, None, 1])
+        got = [len(r.to_download) for r in results]
+        # None takes the scheduler default (4): h0 consumes 2 of the 6
+        # replica-1 candidates, h2 drains the remaining 4, h3 finds none.
+        assert got == [2, 0, 4, 0]
+        assert scheduler.assignments == 6
+
+    def test_uniform_sequence_collapses_to_scalar(self):
+        one, _ = self._scheduler(n=4)
+        other, _ = self._scheduler(n=4)
+        hosts = ["h0", "h1"]
+        a = one.compute_schedule_batch(hosts, [set(), set()], max_new=[1, 1])
+        b = other.compute_schedule_batch(hosts, [set(), set()], max_new=1)
+        assert [len(r.to_download) for r in a] \
+            == [len(r.to_download) for r in b] == [1, 1]
+
+    def test_all_nonpositive_limits_assign_nothing(self):
+        scheduler, _ = self._scheduler(n=3)
+        results = scheduler.compute_schedule_batch(
+            ["h0", "h1"], [set(), set()], max_new=[0, 0])
+        assert all(r.to_download == [] for r in results)
+        assert scheduler.assignments == 0
+
+    def test_empty_cohort(self):
+        scheduler, _ = self._scheduler(n=2)
+        assert scheduler.compute_schedule_batch([], [], max_new=[]) == []
+        assert scheduler.compute_schedule_batch([], []) == []

@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 
 from repro.sim.kernel import Environment
 from repro.sim.scheduler import (
+    ArrayCalendarScheduler,
     CalendarQueueScheduler,
     HeapScheduler,
     OracleScheduler,
@@ -104,11 +105,26 @@ def test_calendar_pop_order_matches_heap(ops):
 
 
 @common_settings
+@given(ops=op_strategy)
+def test_array_calendar_pop_order_matches_heap(ops):
+    _drive(ops, ArrayCalendarScheduler)
+
+
+@common_settings
 @given(ops=op_strategy,
        width=st.sampled_from([0.1, 0.25, 1.0, 7.0, 1000.0]))
 def test_calendar_order_is_width_independent(ops, width):
     """Any pinned bucket width realises the same total order."""
     _drive(ops, lambda: CalendarQueueScheduler(width=width))
+
+
+@common_settings
+@given(ops=op_strategy,
+       width=st.sampled_from([0.1, 0.25, 1.0, 7.0, 1000.0]))
+def test_array_order_is_width_independent(ops, width):
+    """Extreme widths drive all traffic through the merge heap (wide) or
+    one bucket per instant (narrow); the order must not care."""
+    _drive(ops, lambda: ArrayCalendarScheduler(width=width))
 
 
 # ---------------------------------------------------------------------------
@@ -151,14 +167,17 @@ def test_kernel_trace_identical_across_schedulers(workload):
     timers, cancels = workload
     heap_trace = _run_timer_workload("heap", timers, cancels)
     calendar_trace = _run_timer_workload("calendar", timers, cancels)
+    array_trace = _run_timer_workload("array", timers, cancels)
     assert calendar_trace == heap_trace
+    assert array_trace == heap_trace
 
 
 @common_settings
-@given(workload=timer_workload)
-def test_oracle_certifies_timer_workloads(workload):
+@given(workload=timer_workload,
+       scheduler=st.sampled_from(["oracle", "oracle-array"]))
+def test_oracle_certifies_timer_workloads(workload, scheduler):
     timers, cancels = workload
-    env = Environment(scheduler="oracle")
+    env = Environment(scheduler=scheduler)
     handles = [env.call_later(delay, lambda _ev: None) for delay in timers]
 
     def canceller():
@@ -176,7 +195,7 @@ def test_oracle_certifies_timer_workloads(workload):
 # Cancelled-timer residency: compaction keeps corpses from squatting
 # ---------------------------------------------------------------------------
 
-@pytest.mark.parametrize("name", ["heap", "calendar"])
+@pytest.mark.parametrize("name", ["heap", "calendar", "array"])
 def test_cancelled_timers_are_compacted_away(name):
     env = Environment(scheduler=name)
     live = env.call_later(100.0, lambda _ev: None)
@@ -193,7 +212,7 @@ def test_cancelled_timers_are_compacted_away(name):
     assert env.now == 100.0
 
 
-@pytest.mark.parametrize("name", ["heap", "calendar"])
+@pytest.mark.parametrize("name", ["heap", "calendar", "array"])
 def test_cancel_rearm_storm_processes_once(name):
     """The kernel's timer-reschedule pattern stays O(live) per scheduler."""
     env = Environment(scheduler=name)
@@ -270,6 +289,106 @@ def test_calendar_rejects_bad_width():
         CalendarQueueScheduler(width=-1.0)
 
 
+@pytest.mark.parametrize("cls", [CalendarQueueScheduler,
+                                 ArrayCalendarScheduler])
+def test_storm_compaction_arms_the_resize_backoff(cls):
+    """Regression: cancelling into a same-timestamp storm must not chain
+    an O(n) compaction sweep into futile O(n) width rebuilds.  The
+    compaction detects the single-timestamp population and arms the
+    adaptation backoff directly."""
+    sched = cls()
+    interval = cls.RESIZE_INTERVAL
+    stubs = [_Stub() for _ in range(interval - 1)]
+    for i, stub in enumerate(stubs):
+        sched.push((7.0, 1, i, stub))
+    resizes_before = sched.resizes
+    # Cancel just over half the queue: note_cancelled triggers compact().
+    for stub in stubs[: interval // 2 + 1]:
+        stub.cancelled = True
+        sched.note_cancelled()
+    assert sched.compactions >= 1
+    live = sched._size - sched._cancelled
+    assert live == interval - 1 - (interval // 2 + 1)
+    assert sched._resize_backoff_live >= live * 2
+    # The adaptation window right after the compaction early-returns on
+    # the armed backoff instead of re-bucketing the un-spreadable storm
+    # (retries only resume once the live count doubles — geometric, as
+    # pinned by test_calendar_same_timestamp_storm_backs_off).
+    next_seq = interval
+    for i in range(interval):
+        sched.push((7.0, 1, next_seq + i, _Stub()))
+    assert sched.resizes == resizes_before
+    assert sched.pop()[:3] == (7.0, 1, interval // 2 + 1)
+
+
+# ---------------------------------------------------------------------------
+# Array-calendar internals: sort-on-drain and late-domination width shrink
+# ---------------------------------------------------------------------------
+
+class TestArrayCalendarInternals:
+    def test_large_bucket_drains_argsorted(self):
+        sched = ArrayCalendarScheduler(width=1.0)
+        n = ArrayCalendarScheduler.SORT_CROSSOVER * 2
+        # One bucket, deliberately shuffled (time, priority, seq) keys.
+        entries = [((i * 7919 % n) / (2.0 * n), (i * 31) % 3, i, _Stub())
+                   for i in range(n)]
+        for entry in entries:
+            sched.push(entry)
+        keys = [sched.pop()[:3] for _ in range(n)]
+        assert keys == sorted(keys)
+
+    def test_small_bucket_falls_back_to_heap(self):
+        sched = ArrayCalendarScheduler(width=1.0)
+        for i in range(ArrayCalendarScheduler.SORT_CROSSOVER - 1):
+            sched.push((0.5 - i * 1e-3, 1, i, _Stub()))
+        assert sched.pop()[0] == pytest.approx(
+            0.5 - (ArrayCalendarScheduler.SORT_CROSSOVER - 2) * 1e-3)
+        # The drained bucket went through the heap path, not the array.
+        assert sched._late and not sched._drain
+
+    def test_same_time_followups_merge_into_the_drain(self):
+        """Entries pushed into the bucket currently draining (zero-delay
+        timeouts) must come out in global order, not after the array."""
+        sched = ArrayCalendarScheduler(width=1.0)
+        n = ArrayCalendarScheduler.SORT_CROSSOVER * 2
+        for i in range(n):
+            sched.push((i / (2.0 * n), 1, i, _Stub()))
+        first = sched.pop()
+        assert first[:3] == (0.0, 1, 0)
+        # A follow-up earlier than the array's current head.
+        sched.push((first[0], 0, n, _Stub()))
+        assert sched.pop()[:3] == (0.0, 0, n)
+        keys = [sched.pop()[:3] for _ in range(len(sched))]
+        assert keys == sorted(keys)
+
+    def test_late_domination_shrinks_the_width(self):
+        """A calendar far wider than the push lookahead routes everything
+        through the merge heap; the adaptation must notice (no occupancy
+        statistic over the starved future buckets can) and shrink."""
+        sched = ArrayCalendarScheduler()          # auto, width 1.0
+        interval = ArrayCalendarScheduler.RESIZE_INTERVAL
+        sched.push((0.9, 1, 0, _Stub()))
+        sched.pop()                               # drain bucket 0 is active
+        assert sched._drain_index == 0
+        tick = 0.8 / (interval + 10)
+        for i in range(interval + 10):
+            sched.push((i * tick, 1, i + 1, _Stub()))
+        assert sched.resizes >= 1
+        assert sched.width <= 1.0 / ArrayCalendarScheduler.LATE_SHRINK
+        # The shrink caps future occupancy-driven widening at the old width.
+        assert sched._late_width_cap <= 1.0
+        keys = [sched.pop()[:3] for _ in range(len(sched))]
+        assert keys == sorted(keys)
+
+    def test_width_cap_relaxes_geometrically(self):
+        sched = ArrayCalendarScheduler()
+        sched._late_width_cap = 0.5
+        assert sched._clamp_width(2.0) == 0.5     # clamped...
+        assert sched._late_width_cap == 1.0       # ...and the cap doubled
+        assert sched._clamp_width(0.25) == 0.25   # under the cap: untouched
+        assert sched._late_width_cap == 1.0
+
+
 # ---------------------------------------------------------------------------
 # Wiring: make_scheduler and Environment(scheduler=...)
 # ---------------------------------------------------------------------------
@@ -277,7 +396,11 @@ def test_calendar_rejects_bad_width():
 def test_make_scheduler_resolves_names():
     assert isinstance(make_scheduler("heap"), HeapScheduler)
     assert isinstance(make_scheduler("calendar"), CalendarQueueScheduler)
+    assert isinstance(make_scheduler("array"), ArrayCalendarScheduler)
     assert isinstance(make_scheduler("oracle"), OracleScheduler)
+    oracle_array = make_scheduler("oracle-array")
+    assert isinstance(oracle_array, OracleScheduler)
+    assert isinstance(oracle_array.candidate, ArrayCalendarScheduler)
     with pytest.raises(ValueError, match="unknown scheduler"):
         make_scheduler("btree")
 
